@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Regenerates Figure 13 — the TCU-Cache-Aware reordering breakdown:
+ *   (a) MeanNnzTC after SGT / METIS / Louvain / LSH64 / TCA,
+ *   (b) throughput improvement that TCA reordering gives DTC-SpMM
+ *       and cuSPARSE-SpMM,
+ *   (c) L2 hit rate of LSH64 vs TCA's TCU-only hierarchy vs full
+ *       two-hierarchy TCA.
+ *
+ * The heavy reorderings run on all eight matrices by default; with
+ * --quick only the four smallest are used.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "formats/sgt.h"
+#include "reorder/orderings.h"
+
+using namespace dtc;
+using namespace dtc::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const CostModel cm(ArchSpec::rtx4090());
+
+    std::vector<std::pair<Table1Entry, CsrMatrix>> matrices;
+    for (const auto& [entry, matrix] : table1Matrices()) {
+        if (args.quick && matrix.nnz() > 2500000)
+            continue;
+        matrices.emplace_back(entry, matrix);
+    }
+
+    std::printf("Figure 13(a): MeanNnzTC by reordering method\n\n");
+    std::vector<int> widths{8, 8, 8, 9, 8, 10, 8};
+    printRule(widths);
+    printRow(widths, {"Matrix", "SGT", "METIS", "Louvain", "LSH64",
+                      "TCA(TCU)", "TCA"});
+    printRule(widths);
+
+    // Cache permutations for parts (b)/(c).
+    std::vector<std::vector<int32_t>> tca_perms;
+    std::vector<std::vector<int32_t>> tcu_only_perms;
+    std::vector<std::vector<int32_t>> lsh64_perms;
+
+    for (const auto& [entry, matrix] : matrices) {
+        auto mean = [&](const std::vector<int32_t>& perm) {
+            return sgtCondense(matrix.permuteRows(perm)).meanNnzTc;
+        };
+        auto metis =
+            computeReordering(matrix, ReorderMethod::Metis);
+        auto louvain =
+            computeReordering(matrix, ReorderMethod::Louvain);
+        auto lsh64 =
+            computeReordering(matrix, ReorderMethod::Lsh64);
+        auto tcu =
+            computeReordering(matrix, ReorderMethod::TcaTcuOnly);
+        auto tca = computeReordering(matrix, ReorderMethod::Tca);
+
+        printRow(widths,
+                 {entry.abbr, fmt(sgtCondense(matrix).meanNnzTc),
+                  fmt(mean(metis)), fmt(mean(louvain)),
+                  fmt(mean(lsh64)), fmt(mean(tcu)),
+                  fmt(mean(tca))});
+
+        lsh64_perms.push_back(std::move(lsh64));
+        tcu_only_perms.push_back(std::move(tcu));
+        tca_perms.push_back(std::move(tca));
+    }
+    printRule(widths);
+
+    std::printf("\nFigure 13(b): throughput gain from TCA "
+                "reordering (N=128)\n\n");
+    std::vector<int> widths_b{8, 16, 16};
+    printRule(widths_b);
+    printRow(widths_b, {"Matrix", "DTC-SpMM gain", "cuSPARSE gain"});
+    printRule(widths_b);
+    std::vector<double> dtc_gains, cusparse_gains;
+    for (size_t i = 0; i < matrices.size(); ++i) {
+        const auto& [entry, matrix] = matrices[i];
+        CsrMatrix reordered = matrix.permuteRows(tca_perms[i]);
+
+        PreparedKernel dtc_before(KernelKind::Dtc, matrix);
+        PreparedKernel dtc_after(KernelKind::Dtc, reordered);
+        PreparedKernel cu_before(KernelKind::CuSparse, matrix);
+        PreparedKernel cu_after(KernelKind::CuSparse, reordered);
+
+        const double dtc_gain = 100.0 *
+            (dtc_before.cost(128, cm).timeMs /
+                 dtc_after.cost(128, cm).timeMs - 1.0);
+        const double cu_gain = 100.0 *
+            (cu_before.cost(128, cm).timeMs /
+                 cu_after.cost(128, cm).timeMs - 1.0);
+        dtc_gains.push_back(dtc_gain);
+        cusparse_gains.push_back(cu_gain);
+        printRow(widths_b, {entry.abbr, fmt(dtc_gain, 1) + "%",
+                            fmt(cu_gain, 1) + "%"});
+    }
+    printRule(widths_b);
+    double dtc_avg = 0.0, cu_avg = 0.0;
+    for (size_t i = 0; i < dtc_gains.size(); ++i) {
+        dtc_avg += dtc_gains[i] / dtc_gains.size();
+        cu_avg += cusparse_gains[i] / cusparse_gains.size();
+    }
+    std::printf("average: DTC %+0.1f%%, cuSPARSE %+0.1f%%\n",
+                dtc_avg, cu_avg);
+
+    std::printf("\nFigure 13(c): L2 hit rate by reordering "
+                "hierarchy (N=128, DTC-SpMM)\n\n");
+    std::vector<int> widths_c{8, 10, 13, 10};
+    printRule(widths_c);
+    printRow(widths_c, {"Matrix", "LSH64", "TCA(TCU-only)", "TCA"});
+    printRule(widths_c);
+    for (size_t i = 0; i < matrices.size(); ++i) {
+        const auto& [entry, matrix] = matrices[i];
+        auto hitRate = [&](const std::vector<int32_t>& perm) {
+            PreparedKernel k(KernelKind::Dtc,
+                             matrix.permuteRows(perm));
+            return k.cost(128, cm).l2HitRate * 100.0;
+        };
+        printRow(widths_c,
+                 {entry.abbr, fmt(hitRate(lsh64_perms[i]), 2) + "%",
+                  fmt(hitRate(tcu_only_perms[i]), 2) + "%",
+                  fmt(hitRate(tca_perms[i]), 2) + "%"});
+    }
+    printRule(widths_c);
+    std::printf("\nPaper shapes: TCA tops every baseline on "
+                "MeanNnzTC (1.13x/1.72x over SGT on Type I/II); "
+                "reordering helps DTC (~23%% average) more than "
+                "cuSPARSE; the Cache-Aware hierarchy recovers the L2 "
+                "hit rate that the 16-row limit alone loses vs "
+                "LSH64.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Regenerates Figure 14: the runtime-kernel optimization ablation.
+ * For each representative matrix it reports TC pipeline utilization
+ * and #IMAD/#HMMA for TCGNN-SpMM and the cumulative DTC-SpMM stack:
+ * Base (ME-TCF only) -> +SMB -> +IP -> +SDB -> +VFD.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/dtc.h"
+
+using namespace dtc;
+using namespace dtc::bench;
+
+namespace {
+
+DtcOptions
+stack(int level)
+{
+    // level 0 = Base, 1 = +SMB, 2 = +IP, 3 = +SDB, 4 = +VFD.
+    DtcOptions o = DtcOptions::baseline();
+    o.smb = level >= 1;
+    o.ip = level >= 2;
+    o.sdb = level >= 3;
+    o.vfd = level >= 4;
+    return o;
+}
+
+const char* kLevelNames[] = {"Base", "+SMB", "+IP", "+SDB", "+VFD"};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    (void)BenchArgs::parse(argc, argv);
+    const CostModel cm(ArchSpec::rtx4090());
+
+    std::printf("Figure 14: TC pipeline utilization and #IMAD/#HMMA "
+                "across the optimization stack (%s, N=128)\n\n",
+                cm.arch().name.c_str());
+
+    std::vector<int> widths{8, 10, 10, 10, 10, 10, 10};
+    printRule(widths);
+    printRow(widths, {"Matrix", "TCGNN", "Base", "+SMB", "+IP",
+                      "+SDB", "+VFD"});
+    printRule(widths);
+
+    // Collect per-type averages for the summary.
+    double util_sum[2][6] = {};
+    double ratio_sum[2][6] = {};
+    int type_count[2] = {};
+
+    std::printf("TC pipeline utilization (%%):\n");
+    for (const auto& [entry, matrix] : table1Matrices()) {
+        const int t = entry.type == MatrixType::TypeI ? 0 : 1;
+        type_count[t]++;
+        std::vector<std::string> util_row{entry.abbr};
+
+        PreparedKernel tcgnn(KernelKind::Tcgnn, matrix);
+        const LaunchResult& rt = tcgnn.cost(128, cm);
+        util_row.push_back(fmt(rt.tcUtilPct));
+        util_sum[t][0] += rt.tcUtilPct;
+        ratio_sum[t][0] += rt.imadPerHmma;
+
+        for (int level = 0; level < 5; ++level) {
+            DtcKernel k(stack(level));
+            k.prepare(matrix);
+            LaunchResult r = k.cost(128, cm);
+            util_row.push_back(fmt(r.tcUtilPct));
+            util_sum[t][level + 1] += r.tcUtilPct;
+            ratio_sum[t][level + 1] += r.imadPerHmma;
+        }
+        printRow(widths, util_row);
+    }
+    printRule(widths);
+
+    std::printf("\n#IMAD/#HMMA:\n");
+    printRule(widths);
+    printRow(widths, {"Type", "TCGNN", "Base", "+SMB", "+IP", "+SDB",
+                      "+VFD"});
+    printRule(widths);
+    for (int t = 0; t < 2; ++t) {
+        std::vector<std::string> row{t == 0 ? "I(avg)" : "II(avg)"};
+        for (int c = 0; c < 6; ++c)
+            row.push_back(fmt(ratio_sum[t][c] / type_count[t]));
+        printRow(widths, row);
+    }
+    printRule(widths);
+
+    std::printf("\nTC pipeline utilization, per-type average (%%):\n");
+    printRule(widths);
+    printRow(widths, {"Type", "TCGNN", "Base", "+SMB", "+IP", "+SDB",
+                      "+VFD"});
+    printRule(widths);
+    for (int t = 0; t < 2; ++t) {
+        std::vector<std::string> row{t == 0 ? "I(avg)" : "II(avg)"};
+        for (int c = 0; c < 6; ++c)
+            row.push_back(fmt(util_sum[t][c] / type_count[t]));
+        printRow(widths, row);
+    }
+    printRule(widths);
+
+    std::printf("\nPaper shapes: the Base kernel (ME-TCF alone) "
+                "already lifts utilization well above TCGNN "
+                "(especially on Type II); each optimization adds "
+                "further utilization and the full stack slashes "
+                "#IMAD/#HMMA (-38%%/-89%% for Type I/II).\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regenerates Figure 15: the strict-balance study.
+ *   (a) Throughput of DTC-SpMM-base vs DTC-SpMM-balanced on reddit
+ *       and ddi (the imbalanced Type II matrices) and on YeastH
+ *       (balanced Type I, where strict balance only adds overhead),
+ *       plus the Selector's decision for each.
+ *   (b) Per-SM busy/idle distribution with and without balancing.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/dtc.h"
+#include "selector/selector.h"
+
+using namespace dtc;
+using namespace dtc::bench;
+
+namespace {
+
+void
+printSmSpread(const char* label, const LaunchResult& r)
+{
+    double mn = 1e300, mx = 0.0, sum = 0.0;
+    for (double b : r.smBusyCycles) {
+        mn = std::min(mn, b);
+        mx = std::max(mx, b);
+        sum += b;
+    }
+    const double mean = sum / r.smBusyCycles.size();
+    std::printf("    %-22s busy/makespan: min=%.2f mean=%.2f "
+                "max=%.2f\n",
+                label, mn / r.makespanCycles,
+                mean / r.makespanCycles, mx / r.makespanCycles);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    (void)BenchArgs::parse(argc, argv);
+    const CostModel cm(ArchSpec::rtx4090());
+
+    std::printf("Figure 15: effectiveness of the strict-balance "
+                "design (%s, N=128)\n\n", cm.arch().name.c_str());
+
+    std::vector<int> widths{8, 12, 12, 12, 8, 10};
+    printRule(widths);
+    printRow(widths, {"Matrix", "base GFLOPS", "bal. GFLOPS",
+                      "improvement", "AR", "Selector"});
+    printRule(widths);
+
+    std::vector<std::pair<std::string, LaunchResult>> spreads;
+    for (const char* abbr : {"reddit", "ddi", "YH"}) {
+        const auto& entry = table1ByAbbr(abbr);
+        CsrMatrix m = entry.make();
+
+        DtcOptions base_opts;
+        base_opts.mode = DtcOptions::Mode::Base;
+        DtcKernel base(base_opts);
+        base.prepare(m);
+        DtcOptions bal_opts;
+        bal_opts.mode = DtcOptions::Mode::Balanced;
+        DtcKernel bal(bal_opts);
+        bal.prepare(m);
+
+        LaunchResult rb = base.cost(128, cm);
+        LaunchResult rl = bal.cost(128, cm);
+        SelectorDecision d = base.decide(cm.arch());
+
+        printRow(widths,
+                 {abbr, fmt(rb.gflops(), 1), fmt(rl.gflops(), 1),
+                  fmt(100.0 * (rl.gflops() / rb.gflops() - 1.0), 1) +
+                      "%",
+                  fmt(d.approximationRatio),
+                  d.useBalanced ? "balanced" : "base"});
+        spreads.emplace_back(std::string(abbr) + " base", rb);
+        spreads.emplace_back(std::string(abbr) + " balanced", rl);
+    }
+    printRule(widths);
+
+    std::printf("\nPer-SM workload distribution:\n");
+    for (const auto& [label, result] : spreads)
+        printSmSpread(label.c_str(), result);
+
+    std::printf("\nPaper shapes: strict balance gains ~15.8%% on "
+                "reddit and ~54.3%% on ddi, flattens the per-SM "
+                "distribution, and is correctly NOT selected for "
+                "Type I matrices like YeastH where it only adds "
+                "atomics overhead.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Figure 16: end-to-end 2-layer GCN training time (200
+ * epochs) for DTC-GCN vs DGL, PyG (SparseTensor mode) and TC-GNN on
+ * YeastH, protein, IGB-tiny and IGB-small, at hidden sizes 128 and
+ * 256, on both simulated GPUs.  DTC-GCN's time includes its format
+ * conversion; TC-GNN's (CPU-side) conversion is excluded, matching
+ * the paper's protocol.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gnn/frameworks.h"
+
+using namespace dtc;
+using namespace dtc::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    const GnnFramework frameworks[] = {
+        GnnFramework::DtcGcn,
+        GnnFramework::Dgl,
+        GnnFramework::PygSparseTensor,
+        GnnFramework::TcGnn,
+    };
+
+    for (const ArchSpec& arch :
+         {ArchSpec::rtx4090(), ArchSpec::rtx3090()}) {
+        if (args.quick && arch.name == "RTX3090")
+            continue;
+        std::printf("Figure 16 — GCN training time (200 epochs) on "
+                    "%s (unit: s)\n\n", arch.name.c_str());
+
+        std::vector<double> su_dgl, su_pyg, su_tcgnn;
+        for (int64_t hidden : {128, 256}) {
+            std::printf("hidden = %ld:\n", (long)hidden);
+            std::vector<int> widths{10, 10, 10, 10, 10};
+            printRule(widths);
+            printRow(widths, {"Graph", "DTC-GCN", "DGL", "PyG(ST)",
+                              "TC-GNN"});
+            printRule(widths);
+            for (const auto& entry : gnnCaseStudyEntries()) {
+                CsrMatrix a = entry.make();
+                GcnTrainingConfig cfg;
+                cfg.inFeatures = 128;
+                cfg.hidden = hidden;
+                cfg.classes = 16;
+                cfg.epochs = 200;
+
+                std::vector<std::string> row{entry.abbr};
+                double times[4] = {};
+                for (int f = 0; f < 4; ++f) {
+                    auto est = estimateGcnTraining(a, frameworks[f],
+                                                   cfg, arch);
+                    times[f] = est.totalMs;
+                    row.push_back(fmt(est.totalMs / 1e3, 3));
+                }
+                printRow(widths, row);
+                su_dgl.push_back(times[1] / times[0]);
+                su_pyg.push_back(times[2] / times[0]);
+                su_tcgnn.push_back(times[3] / times[0]);
+            }
+            printRule(widths);
+        }
+        std::printf("\nDTC-GCN geomean speedups on %s: %s over DGL, "
+                    "%s over PyG(SparseTensor), %s over TC-GNN\n\n",
+                    arch.name.c_str(),
+                    fmtX(geomean(su_dgl)).c_str(),
+                    fmtX(geomean(su_pyg)).c_str(),
+                    fmtX(geomean(su_tcgnn)).c_str());
+    }
+    std::printf("Paper shapes: RTX4090 geomeans 1.26x (DGL), 1.91x "
+                "(PyG), 2.21x (TC-GNN); RTX3090 1.22x / 1.81x / "
+                "2.69x.\n");
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark): throughput of the
+ * preprocessing stages a deployment actually runs on the CPU/GPU —
+ * SGT condensation, ME-TCF/TCF conversion, MinHash signatures, the
+ * L2 model, and the thread-block scheduler.  These are real
+ * wall-clock numbers (unlike the simulated kernel results).
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/me_tcf.h"
+#include "formats/sgt.h"
+#include "formats/tcf.h"
+#include "gpusim/l2cache.h"
+#include "gpusim/scheduler.h"
+#include "reorder/minhash.h"
+#include "selector/selector.h"
+
+namespace dtc {
+namespace {
+
+CsrMatrix&
+benchMatrix()
+{
+    static CsrMatrix m = [] {
+        Rng rng(1);
+        return genCommunity(16384, 32, 24.0, 0.85, rng);
+    }();
+    return m;
+}
+
+void
+BM_SgtCondense(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    for (auto _ : state) {
+        SgtResult r = sgtCondense(m);
+        benchmark::DoNotOptimize(r.numTcBlocks);
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_SgtCondense);
+
+void
+BM_MeTcfBuild(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    for (auto _ : state) {
+        MeTcfMatrix t = MeTcfMatrix::build(m);
+        benchmark::DoNotOptimize(t.numTcBlocks());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_MeTcfBuild);
+
+void
+BM_TcfBuild(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    for (auto _ : state) {
+        TcfMatrix t = TcfMatrix::build(m);
+        benchmark::DoNotOptimize(t.numTcBlocks());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_TcfBuild);
+
+void
+BM_MinhashSignatures(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    const int hashes = static_cast<int>(state.range(0));
+    MinHasher hasher(hashes, 42);
+    std::vector<uint32_t> sig(static_cast<size_t>(hashes));
+    for (auto _ : state) {
+        for (int64_t r = 0; r < m.rows(); r += 16) {
+            hasher.signature(
+                m.colIdx().data() + m.rowPtr()[r],
+                m.colIdx().data() + m.rowPtr()[r + 1], sig.data());
+        }
+        benchmark::DoNotOptimize(sig[0]);
+    }
+}
+BENCHMARK(BM_MinhashSignatures)->Arg(16)->Arg(32);
+
+void
+BM_L2CacheAccess(benchmark::State& state)
+{
+    L2Cache cache(48ll << 20, 16, 512);
+    Rng rng(7);
+    std::vector<uint64_t> lines(1 << 16);
+    for (auto& l : lines)
+        l = rng.nextZipf(1 << 18, 1.1);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.accessLine(lines[i++ & (lines.size() - 1)]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2CacheAccess);
+
+void
+BM_Scheduler(benchmark::State& state)
+{
+    Rng rng(9);
+    std::vector<double> tbs(static_cast<size_t>(state.range(0)));
+    for (auto& t : tbs)
+        t = 100.0 + static_cast<double>(rng.nextBounded(1000));
+    for (auto _ : state) {
+        ScheduleResult r = scheduleThreadBlocks(tbs, 128, 6);
+        benchmark::DoNotOptimize(r.makespanCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * tbs.size());
+}
+BENCHMARK(BM_Scheduler)->Arg(1024)->Arg(65536);
+
+void
+BM_SelectorDecision(benchmark::State& state)
+{
+    static MeTcfMatrix t = MeTcfMatrix::build(benchMatrix());
+    const ArchSpec arch = ArchSpec::rtx4090();
+    for (auto _ : state) {
+        SelectorDecision d = selectKernel(t, arch);
+        benchmark::DoNotOptimize(d.approximationRatio);
+    }
+}
+BENCHMARK(BM_SelectorDecision);
+
+} // namespace
+} // namespace dtc
+
+BENCHMARK_MAIN();

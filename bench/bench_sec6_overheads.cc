@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates the Section 6 overhead study on YeastH and protein:
+ *
+ *   1. Format Conversion Overhead — the simulated GPU-accelerated
+ *      CSR -> ME-TCF conversion relative to one SpMM execution
+ *      (paper: 1.48x and 14.5x), and relative to TC-GNN's CPU-side
+ *      conversion (paper: 101x and 72x faster).
+ *   2. Reordering Overhead (optional) — host wall-clock of TCA
+ *      (paper: minutes-scale offline step, down from hours).
+ *   3. Selector Overhead — host wall-clock of the makespan
+ *      simulation relative to one SpMM (paper: 42.0% / 24.8%).
+ *
+ * The conversion comparison uses the simulator (both sides of the
+ * paper's ratio are GPU/CPU kernel times); TCA and Selector are real
+ * host wall-clock, as in the paper's methodology.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "formats/convert_cost.h"
+#include "formats/me_tcf.h"
+#include "reorder/tca.h"
+#include "selector/selector.h"
+
+using namespace dtc;
+using namespace dtc::bench;
+
+int
+main(int argc, char** argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    const CostModel cm(ArchSpec::rtx4090());
+
+    std::printf("Section 6: overhead study (RTX4090 model)\n\n");
+    std::printf("1. Format conversion overhead\n");
+
+    std::vector<int> widths{9, 11, 13, 14, 12, 12};
+    printRule(widths);
+    printRow(widths, {"Matrix", "SpMM (ms)", "ME-TCF (ms)",
+                      "TC-GNN (ms)", "conv/SpMM", "vs TC-GNN"});
+    printRule(widths);
+    for (const char* abbr : {"YH", "protein"}) {
+        const auto& entry = table1ByAbbr(abbr);
+        CsrMatrix m = entry.make();
+
+        PreparedKernel dtc(KernelKind::Dtc, m);
+        const double spmm_ms = dtc.cost(128, cm).timeMs;
+        const double conv_ms = meTcfConversionCost(m, cm).timeMs;
+        const double tcgnn_ms = tcgnnCpuConversionMs(m);
+
+        printRow(widths,
+                 {abbr, fmt(spmm_ms, 3), fmt(conv_ms, 3),
+                  fmt(tcgnn_ms, 1), fmtX(conv_ms / spmm_ms, 2),
+                  fmtX(tcgnn_ms / conv_ms, 1)});
+    }
+    printRule(widths);
+    std::printf("(paper: conversion costs 1.48x / 14.5x of one SpMM "
+                "and beats TC-GNN's CPU conversion 101x / 72x)\n");
+
+    std::printf("\n2. Reordering overhead (host wall-clock; optional "
+                "offline step)\n");
+    std::printf("3. Selector overhead (host wall-clock)\n\n");
+    std::vector<int> widths2{9, 12, 14, 14};
+    printRule(widths2);
+    printRow(widths2, {"Matrix", "TCA (ms)", "Selector (ms)",
+                       "Sel/SpMM"});
+    printRule(widths2);
+    for (const char* abbr : {"YH", "protein"}) {
+        const auto& entry = table1ByAbbr(abbr);
+        CsrMatrix m = entry.make();
+        PreparedKernel dtc(KernelKind::Dtc, m);
+        const double spmm_ms = dtc.cost(128, cm).timeMs;
+
+        double tca_ms = 0.0;
+        if (!args.quick) {
+            Stopwatch sw;
+            tcaReorder(m);
+            tca_ms = sw.elapsedMs();
+        }
+
+        MeTcfMatrix me = MeTcfMatrix::build(m);
+        Stopwatch sw;
+        selectKernel(me, cm.arch());
+        const double selector_ms = sw.elapsedMs();
+
+        printRow(widths2,
+                 {abbr, args.quick ? "(skipped)" : fmt(tca_ms, 1),
+                  fmt(selector_ms, 3),
+                  fmt(100.0 * selector_ms / spmm_ms, 1) + "%"});
+    }
+    printRule(widths2);
+    std::printf("\nAll three overheads amortize over iterative "
+                "workloads (thousands of SpMMs on a fixed matrix); "
+                "for per-call-varying matrices, lighter systems "
+                "(cuSPARSE-class) remain preferable — see the tuner "
+                "module, which makes exactly that call.\n");
+    return 0;
+}

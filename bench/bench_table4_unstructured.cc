@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Table 4: execution time of Flash-LLM (v1/v2), SparTA
+ * and DTC-SpMM at N=128 on the simulated RTX4090 across all eight
+ * matrices — including Flash-LLM's dense-staging OOM on the large
+ * Type I matrices and SparTA's dimension-limit "Not Supported"
+ * refusals, exactly as the paper reports.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dtc;
+using namespace dtc::bench;
+
+int
+main(int argc, char** argv)
+{
+    (void)BenchArgs::parse(argc, argv);
+    const CostModel cm(ArchSpec::rtx4090());
+
+    std::printf("Table 4: execution time at N=128 on %s (unit: ms)\n\n",
+                cm.arch().name.c_str());
+
+    std::vector<int> widths{8, 14, 14, 15, 10};
+    printRule(widths);
+    printRow(widths, {"Dataset", "Flash-LLM(v1)", "Flash-LLM(v2)",
+                      "SparTA", "Ours"});
+    printRule(widths);
+    for (const auto& [entry, matrix] : table1Matrices()) {
+        PreparedKernel dtc(KernelKind::Dtc, matrix);
+        std::vector<std::string> row{entry.abbr};
+        for (KernelKind kind : {KernelKind::FlashLlmV1,
+                                KernelKind::FlashLlmV2,
+                                KernelKind::SparTA}) {
+            PreparedKernel k(kind, matrix);
+            if (!k.error().empty()) {
+                row.push_back(kind == KernelKind::SparTA
+                                  ? "Not Supported"
+                                  : "OOM");
+            } else {
+                row.push_back(fmt(k.cost(128, cm).timeMs, 3));
+            }
+        }
+        row.push_back(fmt(dtc.cost(128, cm).timeMs, 3));
+        printRow(widths, row);
+    }
+    printRule(widths);
+    std::printf("\nPaper shapes: Flash-LLM runs only on "
+                "ddi/protein/reddit (OOM elsewhere) and trails DTC "
+                "by >8x on the large Type II matrices while staying "
+                "near parity on dense little ddi; SparTA only "
+                "supports ddi (dimension limit) and is competitive "
+                "there.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Kernel shootout: runs every SpMM implementation in the library on
+ * one matrix — functional verification against the reference plus
+ * the simulated RTX4090 launch — and prints a comparison table.
+ * A compact tour of the whole kernel zoo, including the baselines'
+ * refusal behaviours (BELL OOM, SparTA dimension limit).
+ *
+ * Run: ./build/examples/kernel_shootout [rows] [avg_degree]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "kernels/kernel.h"
+#include "kernels/reference.h"
+#include "tuner/tuner.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace dtc;
+
+    const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 2048;
+    const double avg = argc > 2 ? std::atof(argv[2]) : 24.0;
+
+    Rng rng(123);
+    CsrMatrix a = shuffleLabels(
+        genCommunity(rows, std::max<int64_t>(4, rows / 256), avg,
+                     0.85, rng),
+        rng);
+    const int64_t n = 128;
+    DenseMatrix b(a.cols(), n);
+    b.fillRandom(rng);
+    DenseMatrix want(a.rows(), n);
+    referenceSpmm(a, b, want);
+
+    const CostModel cm(ArchSpec::rtx4090());
+    std::printf("%lld x %lld, nnz=%lld, N=%lld (RTX4090 model)\n\n",
+                static_cast<long long>(a.rows()),
+                static_cast<long long>(a.cols()),
+                static_cast<long long>(a.nnz()),
+                static_cast<long long>(n));
+    std::printf("%-20s %10s %10s %8s %10s  %s\n", "kernel",
+                "time(ms)", "GFLOPS", "TC util", "max|err|",
+                "status");
+
+    for (KernelKind kind :
+         {KernelKind::CuSparse, KernelKind::Sputnik,
+          KernelKind::SparseTir, KernelKind::Tcgnn,
+          KernelKind::DtcBase, KernelKind::DtcBalanced,
+          KernelKind::Dtc, KernelKind::BlockSpmm32,
+          KernelKind::BlockSpmm64, KernelKind::VectorSparse4,
+          KernelKind::VectorSparse8, KernelKind::FlashLlmV1,
+          KernelKind::FlashLlmV2, KernelKind::SparTA}) {
+        auto kernel = makeKernel(kind);
+        const std::string err = kernel->prepare(a);
+        if (!err.empty()) {
+            std::printf("%-20s %10s %10s %8s %10s  %s\n",
+                        kernelKindName(kind), "-", "-", "-", "-",
+                        err.c_str());
+            continue;
+        }
+        DenseMatrix c(a.rows(), n);
+        kernel->compute(b, c);
+        LaunchResult r = kernel->cost(n, cm);
+        std::printf("%-20s %10.4f %10.1f %7.1f%% %10.2e  ok\n",
+                    kernel->name().c_str(), r.timeMs, r.gflops(),
+                    r.tcUtilPct, c.maxAbsDiff(want));
+    }
+
+    // The tuner makes the deployment call, amortizing conversion.
+    std::printf("\ntuner verdicts (amortized per-SpMM time):\n");
+    for (int64_t iterations : {int64_t{1}, int64_t{1000}}) {
+        TuneRequest req;
+        req.denseWidth = n;
+        req.iterations = iterations;
+        TuneResult res = tuneSpmm(a, req, cm);
+        std::printf("  %5lld iteration(s): use %-14s (%.4f ms "
+                    "amortized, conversion %.3f ms)\n",
+                    static_cast<long long>(iterations),
+                    res.best().name.c_str(), res.best().amortizedMs,
+                    res.best().conversionMs);
+    }
+    return 0;
+}

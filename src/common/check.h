@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-checking macros used across the library.
+ *
+ * DTC_CHECK is for user-facing precondition violations (bad arguments,
+ * inconsistent matrix dimensions): it throws std::invalid_argument so
+ * callers can recover.  DTC_ASSERT is for internal invariants that
+ * indicate a library bug; it throws std::logic_error.
+ */
+#ifndef DTC_COMMON_CHECK_H
+#define DTC_COMMON_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtc {
+
+namespace detail {
+
+/** Builds the exception message for a failed check. */
+inline std::string
+checkMessage(const char* kind, const char* expr, const char* file, int line,
+             const std::string& extra)
+{
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+    if (!extra.empty())
+        os << " — " << extra;
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace dtc
+
+/** Throws std::invalid_argument when a caller-visible precondition fails. */
+#define DTC_CHECK(cond)                                                     \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw std::invalid_argument(::dtc::detail::checkMessage(        \
+                "DTC_CHECK", #cond, __FILE__, __LINE__, ""));               \
+        }                                                                   \
+    } while (0)
+
+/** DTC_CHECK with an extra human-readable message (streamable). */
+#define DTC_CHECK_MSG(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream os_;                                         \
+            os_ << msg;                                                     \
+            throw std::invalid_argument(::dtc::detail::checkMessage(        \
+                "DTC_CHECK", #cond, __FILE__, __LINE__, os_.str()));        \
+        }                                                                   \
+    } while (0)
+
+/** Throws std::logic_error when an internal invariant is violated. */
+#define DTC_ASSERT(cond)                                                    \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw std::logic_error(::dtc::detail::checkMessage(             \
+                "DTC_ASSERT", #cond, __FILE__, __LINE__, ""));              \
+        }                                                                   \
+    } while (0)
+
+#endif // DTC_COMMON_CHECK_H

@@ -1,0 +1,112 @@
+#include "common/precision.h"
+
+#include <bit>
+#include <cmath>
+
+namespace dtc {
+
+namespace {
+
+/** RNE-truncates the low @p drop mantissa bits of a finite float. */
+float
+roundMantissa(float x, int drop)
+{
+    if (!std::isfinite(x))
+        return x;
+    uint32_t bits = std::bit_cast<uint32_t>(x);
+    const uint32_t lsb = (bits >> drop) & 1u;
+    bits += (1u << (drop - 1)) - 1u + lsb;
+    bits &= ~((1u << drop) - 1u);
+    return std::bit_cast<float>(bits);
+}
+
+} // namespace
+
+const char*
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32:
+        return "FP32";
+      case Precision::Tf32:
+        return "TF32";
+      case Precision::Bf16:
+        return "BF16";
+      case Precision::Fp16:
+        return "FP16";
+    }
+    return "?";
+}
+
+float
+bf16Round(float x)
+{
+    // BF16 = FP32 with the mantissa cut to 7 bits; same exponent
+    // range, so no saturation concerns.
+    return roundMantissa(x, 23 - 7);
+}
+
+float
+fp16Round(float x)
+{
+    if (!std::isfinite(x))
+        return x;
+    const float r = roundMantissa(x, 23 - 10);
+    // FP16 range: max normal 65504; below the min normal the
+    // hardware MMA path flushes to zero.
+    if (std::abs(r) > 65504.0f)
+        return std::copysign(
+            std::numeric_limits<float>::infinity(), r);
+    if (r != 0.0f && std::abs(r) < 6.103515625e-5f)
+        return std::copysign(0.0f, r);
+    return r;
+}
+
+float
+roundToPrecision(float x, Precision p)
+{
+    switch (p) {
+      case Precision::Fp32:
+        return x;
+      case Precision::Tf32:
+        return tf32Round(x);
+      case Precision::Bf16:
+        return bf16Round(x);
+      case Precision::Fp16:
+        return fp16Round(x);
+    }
+    return x;
+}
+
+double
+unitRoundoff(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32:
+        return 0.0;
+      case Precision::Tf32:
+        return std::ldexp(1.0, -11);
+      case Precision::Bf16:
+        return std::ldexp(1.0, -8);
+      case Precision::Fp16:
+        return std::ldexp(1.0, -11);
+    }
+    return 0.0;
+}
+
+double
+tcRateMultiplier(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32:
+        return 0.0;
+      case Precision::Tf32:
+        return 1.0;
+      case Precision::Bf16:
+      case Precision::Fp16:
+        return 2.0;
+    }
+    return 0.0;
+}
+
+} // namespace dtc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Matrix-unit precision emulation beyond TF32.
+ *
+ * The paper targets TF32 but closes by noting the design "can be
+ * extended to support other precisions".  This module provides the
+ * operand-rounding semantics of the tensor-core input formats NVIDIA
+ * supports for MMA with FP32 accumulation:
+ *
+ *   - TF32: 8-bit exponent, 10 explicit mantissa bits;
+ *   - BF16: 8-bit exponent,  7 explicit mantissa bits;
+ *   - FP16: 5-bit exponent, 10 explicit mantissa bits (values
+ *           outside +-65504 saturate to infinity, subnormals flush);
+ *   - FP32: pass-through (CUDA-core reference).
+ *
+ * All conversions round-to-nearest-even, matching hardware.
+ */
+#ifndef DTC_COMMON_PRECISION_H
+#define DTC_COMMON_PRECISION_H
+
+#include <cstdint>
+
+#include "common/tf32.h"
+
+namespace dtc {
+
+/** Tensor-core operand precisions. */
+enum class Precision
+{
+    Fp32, ///< No rounding (CUDA-core path).
+    Tf32, ///< The paper's target precision.
+    Bf16,
+    Fp16,
+};
+
+/** Display name. */
+const char* precisionName(Precision p);
+
+/** Rounds @p x to BF16 (RNE), returned widened to float. */
+float bf16Round(float x);
+
+/** Rounds @p x to FP16 (RNE, saturating), widened to float. */
+float fp16Round(float x);
+
+/** Rounds @p x to the given operand precision. */
+float roundToPrecision(float x, Precision p);
+
+/**
+ * Relative unit-roundoff of one operand conversion (2^-(mantissa+1));
+ * 0 for FP32.  Used by accuracy tests to bound kernel error.
+ */
+double unitRoundoff(Precision p);
+
+/**
+ * Tensor-core MAC throughput multiplier relative to TF32 on
+ * Ampere/Ada-class parts: FP16/BF16 run 2x, FP32 (CUDA cores) is
+ * not a tensor-core path (returns 0).
+ */
+double tcRateMultiplier(Precision p);
+
+} // namespace dtc
+
+#endif // DTC_COMMON_PRECISION_H

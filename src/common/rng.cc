@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dtc {
+
+uint64_t
+Rng::next64()
+{
+    // SplitMix64 step.
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    DTC_CHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next64();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+int64_t
+Rng::nextInt(int64_t lo, int64_t hi)
+{
+    DTC_CHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+uint64_t
+Rng::nextZipf(uint64_t n, double s)
+{
+    DTC_CHECK(n > 0);
+    if (n == 1 || s <= 0.0)
+        return nextBounded(n);
+
+    // Rejection-inversion sampling (W. Hormann, G. Derflinger).
+    const double nd = static_cast<double>(n);
+    auto h = [s](double x) {
+        // Integral of x^-s.
+        if (s == 1.0)
+            return std::log(x);
+        return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+    };
+    auto hInv = [s](double y) {
+        if (s == 1.0)
+            return std::exp(y);
+        return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+    };
+    const double hX1 = h(1.5) - 1.0;
+    const double hN = h(nd + 0.5);
+    for (;;) {
+        double u = hX1 + nextDouble() * (hN - hX1);
+        double x = hInv(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        double kd = static_cast<double>(k);
+        if (u >= h(kd + 0.5) - std::pow(kd, -s))
+            return k - 1;
+    }
+}
+
+std::vector<uint64_t>
+Rng::sampleWithoutReplacement(uint64_t n, uint64_t k)
+{
+    DTC_CHECK(k <= n);
+    // Floyd's algorithm: for j = n-k .. n-1 pick t in [0, j]; insert t
+    // unless already present, else insert j.
+    std::unordered_set<uint64_t> chosen;
+    chosen.reserve(k * 2);
+    std::vector<uint64_t> out;
+    out.reserve(k);
+    for (uint64_t j = n - k; j < n; ++j) {
+        uint64_t t = nextBounded(j + 1);
+        if (chosen.count(t)) {
+            chosen.insert(j);
+            out.push_back(j);
+        } else {
+            chosen.insert(t);
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+} // namespace dtc

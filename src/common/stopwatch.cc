@@ -1,0 +1,18 @@
+#include "common/stopwatch.h"
+
+namespace dtc {
+
+void
+Stopwatch::reset()
+{
+    start = std::chrono::steady_clock::now();
+}
+
+double
+Stopwatch::elapsedSeconds() const
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+} // namespace dtc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock stopwatch for host-side overhead measurements.
+ *
+ * Performance *results* in this repository come from the deterministic
+ * GPU cost model (see gpusim/), not wall clocks.  The stopwatch exists
+ * for the host-side overhead study (Section 6 of the paper: format
+ * conversion, reordering and Selector preprocessing cost) and the
+ * google-benchmark microbenchmarks.
+ */
+#ifndef DTC_COMMON_STOPWATCH_H
+#define DTC_COMMON_STOPWATCH_H
+
+#include <chrono>
+
+namespace dtc {
+
+/** A simple monotonic wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    /** Constructs and starts the stopwatch. */
+    Stopwatch() { reset(); }
+
+    /** Restarts timing from now. */
+    void reset();
+
+    /** Returns seconds elapsed since construction or the last reset. */
+    double elapsedSeconds() const;
+
+    /** Returns milliseconds elapsed since construction or last reset. */
+    double elapsedMs() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace dtc
+
+#endif // DTC_COMMON_STOPWATCH_H

@@ -1,0 +1,31 @@
+#include "common/tf32.h"
+
+#include <bit>
+#include <cmath>
+
+namespace dtc {
+
+float
+tf32Round(float x)
+{
+    if (!std::isfinite(x))
+        return x;
+
+    uint32_t bits = std::bit_cast<uint32_t>(x);
+
+    // FP32 has 23 explicit mantissa bits; TF32 keeps the top 10, so we
+    // round away the low 13.  Round-to-nearest-even: add half of the
+    // dropped range, plus the parity bit of the kept LSB, then truncate.
+    constexpr uint32_t kDropBits = 23 - kTf32MantissaBits;
+    const uint32_t lsb = (bits >> kDropBits) & 1u;
+    const uint32_t round = (1u << (kDropBits - 1)) - 1u + lsb;
+    bits += round;
+    bits &= ~((1u << kDropBits) - 1u);
+
+    float out = std::bit_cast<float>(bits);
+    // Rounding can overflow the exponent into infinity; that matches
+    // hardware saturation semantics for TF32 conversion.
+    return out;
+}
+
+} // namespace dtc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * TF32 numeric emulation.
+ *
+ * NVIDIA's TF32 tensor-core precision keeps FP32's 8-bit exponent but
+ * truncates the mantissa to 10 explicit bits before the multiply; the
+ * accumulation happens in full FP32.  The functions here reproduce that
+ * rounding (round-to-nearest-even on the dropped 13 mantissa bits) so
+ * the tensor-core kernels in this library are numerically faithful to
+ * the hardware the paper targets.
+ */
+#ifndef DTC_COMMON_TF32_H
+#define DTC_COMMON_TF32_H
+
+#include <cstdint>
+
+namespace dtc {
+
+/**
+ * Rounds an FP32 value to TF32 (10 explicit mantissa bits,
+ * round-to-nearest-even).  NaN and infinity pass through unchanged.
+ */
+float tf32Round(float x);
+
+/**
+ * One TF32 multiply-accumulate step: acc + tf32(a) * tf32(b), with the
+ * product and accumulation carried out in FP32 as the hardware does.
+ */
+inline float
+tf32Fma(float a, float b, float acc)
+{
+    return acc + tf32Round(a) * tf32Round(b);
+}
+
+/** Number of explicit mantissa bits kept by TF32. */
+constexpr int kTf32MantissaBits = 10;
+
+} // namespace dtc
+
+#endif // DTC_COMMON_TF32_H

@@ -1,0 +1,104 @@
+#include "datasets/collection.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace dtc {
+
+const char*
+collectionClassName(CollectionClass c)
+{
+    switch (c) {
+      case CollectionClass::Banded:
+        return "banded";
+      case CollectionClass::PowerLaw:
+        return "powerlaw";
+      case CollectionClass::BlockDiagonal:
+        return "blockdiag";
+      case CollectionClass::Community:
+        return "community";
+      case CollectionClass::Uniform:
+        return "uniform";
+      case CollectionClass::Rmat:
+        return "rmat";
+    }
+    return "?";
+}
+
+CsrMatrix
+CollectionEntry::make() const
+{
+    Rng rng(seed);
+    double avg = static_cast<double>(nnzTarget) / static_cast<double>(n);
+    CsrMatrix m;
+    switch (klass) {
+      case CollectionClass::Banded:
+        m = genBanded(n, std::max<int64_t>(8, n / 64), avg, rng);
+        break;
+      case CollectionClass::PowerLaw:
+        m = genPowerLaw(n, avg, 1.4, rng);
+        break;
+      case CollectionClass::BlockDiagonal: {
+        // Choose block size so the requested fill is ~35%.
+        int64_t block = std::max<int64_t>(
+            8, static_cast<int64_t>(avg / 0.35));
+        m = genBlockDiagonal(n, block, 0.35, rng);
+        break;
+      }
+      case CollectionClass::Community:
+        m = genCommunity(n, std::max<int64_t>(4, n / 1024), avg, 0.8,
+                         rng);
+        break;
+      case CollectionClass::Uniform:
+        m = genUniform(n, avg, rng);
+        break;
+      case CollectionClass::Rmat:
+        m = genRmat(n, nnzTarget, 0.55, 0.2, 0.2, rng);
+        break;
+    }
+    return shuffleLabels(m, rng);
+}
+
+std::vector<CollectionEntry>
+makeCollection(int count, uint64_t seed)
+{
+    DTC_CHECK(count > 0);
+    Rng rng(seed);
+    std::vector<CollectionEntry> out;
+    out.reserve(static_cast<size_t>(count));
+    const CollectionClass classes[] = {
+        CollectionClass::Banded,       CollectionClass::PowerLaw,
+        CollectionClass::BlockDiagonal, CollectionClass::Community,
+        CollectionClass::Uniform,      CollectionClass::Rmat,
+    };
+    for (int i = 0; i < count; ++i) {
+        CollectionEntry e;
+        e.id = i;
+        e.klass = classes[i % 6];
+        // Spread sizes log-uniformly: n in [2k, 48k].
+        double t = rng.nextDouble();
+        e.n = static_cast<int64_t>(2048.0 * std::pow(24.0, t));
+        // Average row length in [8, 96], also log-uniform, but capped
+        // so NNZ stays within the collection budget.
+        double avg = 8.0 * std::pow(12.0, rng.nextDouble());
+        int64_t nnz = static_cast<int64_t>(avg * static_cast<double>(e.n));
+        const int64_t nnz_lo = 60000, nnz_hi = 900000;
+        if (nnz < nnz_lo)
+            nnz = nnz_lo;
+        if (nnz > nnz_hi)
+            nnz = nnz_hi;
+        e.nnzTarget = nnz;
+        e.seed = rng.next64();
+        std::ostringstream name;
+        name << "ss" << i << "_" << collectionClassName(e.klass);
+        e.name = name.str();
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+} // namespace dtc

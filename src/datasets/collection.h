@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A synthetic stand-in for the paper's 414-matrix SuiteSparse set.
+ *
+ * The paper sweeps 414 SuiteSparse matrices with >= 1M nonzeros,
+ * square (TCGNN constraint) and int32-indexable (Sputnik constraint).
+ * This module deterministically generates a collection with the same
+ * cardinality and a comparable diversity of structure classes
+ * (banded/FEM-like, power-law, block-diagonal, community, uniform,
+ * R-MAT), scaled down in NNZ per DESIGN.md.
+ */
+#ifndef DTC_DATASETS_COLLECTION_H
+#define DTC_DATASETS_COLLECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** Structure class of a collection matrix. */
+enum class CollectionClass
+{
+    Banded,
+    PowerLaw,
+    BlockDiagonal,
+    Community,
+    Uniform,
+    Rmat,
+};
+
+/** Human-readable name of a collection class. */
+const char* collectionClassName(CollectionClass c);
+
+/** Descriptor of one matrix in the synthetic collection. */
+struct CollectionEntry
+{
+    int id;                 ///< Index in [0, size).
+    std::string name;       ///< e.g. "ss042_powerlaw".
+    CollectionClass klass;  ///< Structure class.
+    int64_t n;              ///< Rows = cols.
+    int64_t nnzTarget;      ///< Approximate NNZ aimed for.
+    uint64_t seed;          ///< Generator seed.
+
+    /** Builds the matrix (deterministic; labels shuffled). */
+    CsrMatrix make() const;
+};
+
+/**
+ * Returns descriptors for the collection.  @p count defaults to the
+ * paper's 414; smaller counts take a prefix (useful in tests).
+ */
+std::vector<CollectionEntry> makeCollection(int count = 414,
+                                            uint64_t seed = 0x5517e);
+
+} // namespace dtc
+
+#endif // DTC_DATASETS_COLLECTION_H

@@ -1,0 +1,284 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "matrix/coo.h"
+
+namespace dtc {
+
+namespace {
+
+/** Random nonzero value; kept away from zero so sums stay nonzero. */
+float
+randValue(Rng& rng)
+{
+    return rng.nextFloat(0.5f, 1.5f);
+}
+
+/** Finalizes a COO pattern: symmetrize, canonicalize, convert. */
+CsrMatrix
+finalize(CooMatrix& coo)
+{
+    coo.symmetrize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+} // namespace
+
+CsrMatrix
+genUniform(int64_t n, double avg_deg, Rng& rng)
+{
+    DTC_CHECK(n > 0 && avg_deg > 0.0);
+    // Symmetrization roughly doubles off-diagonal entries, so draw
+    // half the target count.
+    int64_t draws = static_cast<int64_t>(
+        static_cast<double>(n) * avg_deg / 2.0);
+    CooMatrix coo(n, n);
+    coo.reserve(static_cast<size_t>(draws) * 2);
+    for (int64_t i = 0; i < draws; ++i) {
+        int32_t r = static_cast<int32_t>(rng.nextBounded(n));
+        int32_t c = static_cast<int32_t>(rng.nextBounded(n));
+        coo.add(r, c, randValue(rng));
+    }
+    return finalize(coo);
+}
+
+CsrMatrix
+genPowerLaw(int64_t n, double avg_deg, double skew, Rng& rng)
+{
+    DTC_CHECK(n > 0 && avg_deg > 0.0 && skew >= 0.0);
+    // Draw per-row degrees from Zipf over [1, n), then rescale to hit
+    // the average.  Hub columns: column index drawn as Zipf too, then
+    // mapped through a fixed random permutation so hubs are scattered.
+    std::vector<int32_t> hub_map(static_cast<size_t>(n));
+    std::iota(hub_map.begin(), hub_map.end(), 0);
+    rng.shuffle(hub_map);
+
+    std::vector<double> raw(static_cast<size_t>(n));
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        raw[i] = 1.0 + static_cast<double>(
+                           rng.nextZipf(static_cast<uint64_t>(n), skew));
+        sum += raw[i];
+    }
+    // Scale so the symmetrized matrix lands near avg_deg.
+    double scale = static_cast<double>(n) * avg_deg / 2.0 / sum;
+
+    CooMatrix coo(n, n);
+    for (int64_t r = 0; r < n; ++r) {
+        double want = raw[r] * scale;
+        int64_t deg = static_cast<int64_t>(want);
+        if (rng.nextDouble() < want - static_cast<double>(deg))
+            deg++;
+        for (int64_t k = 0; k < deg; ++k) {
+            uint64_t z = rng.nextZipf(static_cast<uint64_t>(n), 0.8);
+            coo.add(static_cast<int32_t>(r), hub_map[z], randValue(rng));
+        }
+    }
+    return finalize(coo);
+}
+
+CsrMatrix
+genRmat(int64_t n, int64_t nnz_target, double a, double b, double c,
+        Rng& rng)
+{
+    DTC_CHECK(n > 0 && nnz_target > 0);
+    DTC_CHECK_MSG(a + b + c <= 1.0 + 1e-9, "RMAT probabilities exceed 1");
+    int levels = 0;
+    int64_t dim = 1;
+    while (dim < n) {
+        dim <<= 1;
+        levels++;
+    }
+
+    CooMatrix coo(n, n);
+    coo.reserve(static_cast<size_t>(nnz_target));
+    int64_t placed = 0;
+    int64_t attempts = 0;
+    const int64_t max_attempts = nnz_target * 8;
+    while (placed < nnz_target / 2 && attempts < max_attempts) {
+        attempts++;
+        int64_t r = 0, col = 0;
+        for (int l = 0; l < levels; ++l) {
+            double p = rng.nextDouble();
+            // Add per-level noise so the matrix is not perfectly
+            // self-similar (standard RMAT practice).
+            double aa = a * (0.9 + 0.2 * rng.nextDouble());
+            double bb = b * (0.9 + 0.2 * rng.nextDouble());
+            double cc = c * (0.9 + 0.2 * rng.nextDouble());
+            double norm = aa + bb + cc + (1.0 - a - b - c);
+            aa /= norm;
+            bb /= norm;
+            cc /= norm;
+            r <<= 1;
+            col <<= 1;
+            if (p < aa) {
+                // top-left quadrant
+            } else if (p < aa + bb) {
+                col |= 1;
+            } else if (p < aa + bb + cc) {
+                r |= 1;
+            } else {
+                r |= 1;
+                col |= 1;
+            }
+        }
+        if (r >= n || col >= n)
+            continue;
+        coo.add(static_cast<int32_t>(r), static_cast<int32_t>(col),
+                randValue(rng));
+        placed++;
+    }
+    return finalize(coo);
+}
+
+CsrMatrix
+genBanded(int64_t n, int64_t band, double avg_deg, Rng& rng)
+{
+    DTC_CHECK(n > 0 && band > 0 && avg_deg > 0.0);
+    CooMatrix coo(n, n);
+    for (int64_t r = 0; r < n; ++r) {
+        double want = avg_deg / 2.0;
+        int64_t deg = static_cast<int64_t>(want);
+        if (rng.nextDouble() < want - static_cast<double>(deg))
+            deg++;
+        for (int64_t k = 0; k < deg; ++k) {
+            int64_t off = rng.nextInt(-band, band);
+            int64_t c = r + off;
+            if (c < 0 || c >= n)
+                continue;
+            coo.add(static_cast<int32_t>(r), static_cast<int32_t>(c),
+                    randValue(rng));
+        }
+    }
+    return finalize(coo);
+}
+
+CsrMatrix
+genBlockDiagonal(int64_t n, int64_t block, double fill, Rng& rng)
+{
+    DTC_CHECK(n > 0 && block > 0 && fill > 0.0 && fill <= 1.0);
+    CooMatrix coo(n, n);
+    for (int64_t base = 0; base < n; base += block) {
+        int64_t size = std::min(block, n - base);
+        for (int64_t i = 0; i < size; ++i) {
+            for (int64_t j = i; j < size; ++j) {
+                if (rng.nextDouble() < fill) {
+                    coo.add(static_cast<int32_t>(base + i),
+                            static_cast<int32_t>(base + j),
+                            randValue(rng));
+                }
+            }
+        }
+    }
+    return finalize(coo);
+}
+
+CsrMatrix
+genCommunity(int64_t n, int64_t n_comm, double avg_deg, double p_intra,
+             Rng& rng, double degree_skew)
+{
+    DTC_CHECK(n > 0 && n_comm > 0 && n_comm <= n);
+    DTC_CHECK(p_intra >= 0.0 && p_intra <= 1.0);
+    const int64_t comm_size = (n + n_comm - 1) / n_comm;
+
+    // Optional skewed degree sequence, rescaled to avg_deg.
+    std::vector<double> deg_scale;
+    if (degree_skew > 0.0) {
+        deg_scale.resize(static_cast<size_t>(n));
+        double sum = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            deg_scale[i] = 1.0 + static_cast<double>(rng.nextZipf(
+                                     static_cast<uint64_t>(n),
+                                     degree_skew));
+            sum += deg_scale[i];
+        }
+        const double norm = static_cast<double>(n) / sum;
+        for (double& d : deg_scale)
+            d *= norm;
+    }
+
+    CooMatrix coo(n, n);
+    coo.reserve(static_cast<size_t>(static_cast<double>(n) * avg_deg));
+    for (int64_t r = 0; r < n; ++r) {
+        int64_t comm = r / comm_size;
+        int64_t lo = comm * comm_size;
+        int64_t hi = std::min(lo + comm_size, n);
+        double want = avg_deg / 2.0;
+        if (!deg_scale.empty())
+            want *= deg_scale[r];
+        int64_t deg = static_cast<int64_t>(want);
+        if (rng.nextDouble() < want - static_cast<double>(deg))
+            deg++;
+        for (int64_t k = 0; k < deg; ++k) {
+            int64_t c;
+            if (rng.nextDouble() < p_intra) {
+                c = lo + static_cast<int64_t>(rng.nextBounded(hi - lo));
+            } else {
+                c = static_cast<int64_t>(rng.nextBounded(n));
+            }
+            coo.add(static_cast<int32_t>(r), static_cast<int32_t>(c),
+                    randValue(rng));
+        }
+    }
+    return finalize(coo);
+}
+
+CsrMatrix
+genComponents(int64_t n, int64_t comp_min, int64_t comp_max,
+              double extra_edge_frac, Rng& rng)
+{
+    DTC_CHECK(n > 0 && comp_min > 1 && comp_min <= comp_max);
+    CooMatrix coo(n, n);
+    int64_t base = 0;
+    while (base < n) {
+        int64_t size =
+            std::min(rng.nextInt(comp_min, comp_max), n - base);
+        if (size < 2) {
+            // A singleton node keeps a self-loop so no row is empty.
+            coo.add(static_cast<int32_t>(base), static_cast<int32_t>(base),
+                    randValue(rng));
+            base += size;
+            continue;
+        }
+        // Random spanning tree: each node links to a random earlier one.
+        for (int64_t i = 1; i < size; ++i) {
+            int64_t parent = rng.nextInt(0, i - 1);
+            coo.add(static_cast<int32_t>(base + i),
+                    static_cast<int32_t>(base + parent), randValue(rng));
+        }
+        int64_t extras = static_cast<int64_t>(
+            extra_edge_frac * static_cast<double>(size));
+        for (int64_t e = 0; e < extras; ++e) {
+            int64_t i = rng.nextInt(0, size - 1);
+            int64_t j = rng.nextInt(0, size - 1);
+            if (i != j) {
+                coo.add(static_cast<int32_t>(base + i),
+                        static_cast<int32_t>(base + j), randValue(rng));
+            }
+        }
+        base += size;
+    }
+    return finalize(coo);
+}
+
+std::vector<int32_t>
+randomPermutation(int64_t n, Rng& rng)
+{
+    std::vector<int32_t> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    return perm;
+}
+
+CsrMatrix
+shuffleLabels(const CsrMatrix& m, Rng& rng)
+{
+    return m.permuteSymmetric(randomPermutation(m.rows(), rng));
+}
+
+} // namespace dtc

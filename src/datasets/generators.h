@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * The paper evaluates on real graphs (Table 1) and 414 SuiteSparse
+ * matrices.  Those datasets are not available offline, so generators
+ * here synthesize matrices of the same structural classes: molecular
+ * graphs made of many small components (YeastH/OVCAR-8H/Yeast/DD),
+ * power-law web graphs (web-BerkStan), dense community graphs
+ * (reddit/protein), near-dense interaction graphs (ddi), plus banded /
+ * block-diagonal / uniform matrices typical of SuiteSparse's
+ * scientific-computing population.
+ *
+ * All generators are deterministic given an Rng, emit square matrices
+ * with sorted CSR rows, and symmetrize patterns (GNN adjacency
+ * convention, which the paper's pipeline assumes).
+ */
+#ifndef DTC_DATASETS_GENERATORS_H
+#define DTC_DATASETS_GENERATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+class Rng;
+
+/**
+ * Uniform Erdos-Renyi-style random matrix: n*avg_deg entries placed
+ * uniformly at random (duplicates merged, so the realized NNZ can be
+ * slightly lower).  This is the "naturally balanced" class the paper
+ * uses to calibrate the Selector threshold.
+ */
+CsrMatrix genUniform(int64_t n, double avg_deg, Rng& rng);
+
+/**
+ * Power-law matrix: row degrees follow a Zipf(@p skew) distribution
+ * scaled to the requested average; columns are drawn preferentially
+ * towards low indices, giving the heavy-hub structure of web/social
+ * graphs.
+ */
+CsrMatrix genPowerLaw(int64_t n, double avg_deg, double skew, Rng& rng);
+
+/**
+ * R-MAT (recursive matrix) generator with partition probabilities
+ * @p a, @p b, @p c (d = 1-a-b-c).  n is rounded up to a power of two
+ * internally; indices outside [0, n) are re-drawn.
+ */
+CsrMatrix genRmat(int64_t n, int64_t nnz_target, double a, double b,
+                  double c, Rng& rng);
+
+/** Banded matrix: each row has ~avg_deg entries within +/- band. */
+CsrMatrix genBanded(int64_t n, int64_t band, double avg_deg, Rng& rng);
+
+/**
+ * Block-diagonal matrix with dense-ish blocks of size @p block and
+ * in-block fill probability @p fill.
+ */
+CsrMatrix genBlockDiagonal(int64_t n, int64_t block, double fill,
+                           Rng& rng);
+
+/**
+ * Planted-community graph: nodes are split into @p n_comm equal
+ * communities; each node draws ~avg_deg neighbours, a fraction
+ * @p p_intra of them inside its own community.  @p degree_skew > 0
+ * draws per-node degrees from a Zipf distribution rescaled to the
+ * requested average (social-network-style hubs), which is what makes
+ * per-window TC-block counts uneven and strict balancing worthwhile.
+ */
+CsrMatrix genCommunity(int64_t n, int64_t n_comm, double avg_deg,
+                       double p_intra, Rng& rng,
+                       double degree_skew = 0.0);
+
+/**
+ * Molecular-graph-style matrix: many independent small components of
+ * size in [comp_min, comp_max], each a random spanning tree plus
+ * @p extra_edge_frac * size extra random in-component edges.  Average
+ * row length lands slightly above 2, matching the Type I matrices of
+ * Table 1.
+ */
+CsrMatrix genComponents(int64_t n, int64_t comp_min, int64_t comp_max,
+                        double extra_edge_frac, Rng& rng);
+
+/** Returns a uniformly random permutation of [0, n). */
+std::vector<int32_t> randomPermutation(int64_t n, Rng& rng);
+
+/**
+ * Randomly relabels rows/columns of @p m (symmetric permutation).
+ * Generators produce matrices whose structure is aligned with the
+ * index order; shuffling hides it so that reordering algorithms have
+ * real work to do, as with real-world graph labelings.
+ */
+CsrMatrix shuffleLabels(const CsrMatrix& m, Rng& rng);
+
+} // namespace dtc
+
+#endif // DTC_DATASETS_GENERATORS_H

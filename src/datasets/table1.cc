@@ -1,0 +1,99 @@
+#include "datasets/table1.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace dtc {
+
+CsrMatrix
+Table1Entry::make() const
+{
+    Rng rng(seed);
+    CsrMatrix m;
+    if (abbr == "YH") {
+        // Protein-interaction bio-assay graphs: huge forests of tiny
+        // molecular components, AvgRowL ~2.07.
+        m = genComponents(120000, 8, 28, 0.10, rng);
+    } else if (abbr == "OH") {
+        m = genComponents(76000, 8, 26, 0.11, rng);
+    } else if (abbr == "Yt") {
+        m = genComponents(68000, 8, 24, 0.14, rng);
+    } else if (abbr == "DD") {
+        // Protein-structure graphs: denser small components, ~5/row.
+        m = genComponents(33000, 30, 120, 1.6, rng);
+    } else if (abbr == "WB") {
+        // Web graph: power-law with hubs, AvgRowL ~11.
+        m = genRmat(48000, 48000 * 11, 0.57, 0.19, 0.19, rng);
+    } else if (abbr == "reddit") {
+        // Social graph: strong communities, very long rows, heavy
+        // hubs (degree skew drives the Fig. 15 imbalance).
+        m = genCommunity(24576, 24, 520.0, 0.85, rng, 1.6);
+    } else if (abbr == "ddi") {
+        // Drug-drug interactions: small and near-dense (~12% density).
+        m = genUniform(4267, 500.0, rng);
+    } else if (abbr == "protein") {
+        // Protein associations: dense biological communities.
+        m = genCommunity(26112, 24, 215.0, 0.80, rng);
+    } else if (abbr == "IGB-tiny") {
+        // IGB homogeneous tiny: citation-style communities, avg ~12.
+        m = genCommunity(20000, 64, 12.0, 0.7, rng);
+    } else if (abbr == "IGB-small") {
+        m = genCommunity(60000, 128, 12.0, 0.7, rng);
+    } else {
+        DTC_CHECK_MSG(false, "unknown Table-1 abbreviation: " << abbr);
+    }
+    // Real-world labelings do not align with generator order.
+    return shuffleLabels(m, rng);
+}
+
+const std::vector<Table1Entry>&
+table1Entries()
+{
+    static const std::vector<Table1Entry> entries = {
+        {"YeastH", "YH", MatrixType::TypeI, 3138114, 6487230, 2.07,
+         0xa11ce001},
+        {"OVCAR-8H", "OH", MatrixType::TypeI, 1889542, 3946402, 2.09,
+         0xa11ce002},
+        {"Yeast", "Yt", MatrixType::TypeI, 1710902, 3636546, 2.13,
+         0xa11ce003},
+        {"DD", "DD", MatrixType::TypeI, 334925, 1686092, 5.03,
+         0xa11ce004},
+        {"web-BerkStan", "WB", MatrixType::TypeI, 685230, 7600595, 11.09,
+         0xa11ce005},
+        {"reddit", "reddit", MatrixType::TypeII, 232965, 114848857,
+         492.99, 0xa11ce006},
+        {"ddi", "ddi", MatrixType::TypeII, 4267, 2140089, 501.54,
+         0xa11ce007},
+        {"protein", "protein", MatrixType::TypeII, 132534, 79255038,
+         598.00, 0xa11ce008},
+    };
+    return entries;
+}
+
+const std::vector<Table1Entry>&
+gnnCaseStudyEntries()
+{
+    static const std::vector<Table1Entry> entries = {
+        table1ByAbbr("YH"),
+        table1ByAbbr("protein"),
+        {"IGB-tiny", "IGB-tiny", MatrixType::TypeI, 100000, 547416,
+         5.47, 0xa11ce009},
+        {"IGB-small", "IGB-small", MatrixType::TypeI, 1000000,
+         12070502, 12.07, 0xa11ce00a},
+    };
+    return entries;
+}
+
+const Table1Entry&
+table1ByAbbr(const std::string& abbr)
+{
+    for (const auto& e : table1Entries()) {
+        if (e.abbr == abbr)
+            return e;
+    }
+    DTC_CHECK_MSG(false, "no Table-1 entry named " << abbr);
+    throw std::logic_error("unreachable");
+}
+
+} // namespace dtc

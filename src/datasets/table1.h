@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analogs of the paper's Table-1 benchmark matrices.
+ *
+ * The eight representative matrices (YeastH, OVCAR-8H, Yeast, DD,
+ * web-BerkStan, reddit, ddi, protein) are synthesized with the
+ * generators in generators.h, scaled down to fit a single-core CPU
+ * budget (see DESIGN.md).  Each analog preserves the property the
+ * paper's analysis keys on: its structural class and its average row
+ * length regime (Type I: AvgRowL 2-12, Type II: AvgRowL ~250-600).
+ *
+ * The scaling factors per matrix:
+ *   - Type I matrices keep AvgRowL exactly and shrink M ~10-25x.
+ *   - Type II matrices keep AvgRowL within the paper's regime and
+ *     shrink M so NNZ stays in the low millions.  ddi keeps the
+ *     paper's exact M = 4267 (it matters for the SparTA size-limit
+ *     reproduction in Table 4).
+ */
+#ifndef DTC_DATASETS_TABLE1_H
+#define DTC_DATASETS_TABLE1_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** Which AvgRowL regime a matrix belongs to (paper Section 3). */
+enum class MatrixType { TypeI, TypeII };
+
+/** Descriptor of one Table-1 analog matrix. */
+struct Table1Entry
+{
+    std::string name;   ///< Full dataset name (paper spelling).
+    std::string abbr;   ///< Abbreviation used in the paper's tables.
+    MatrixType type;    ///< Type I (short rows) or Type II (long rows).
+    int64_t paperRows;  ///< M (=K) in the paper.
+    int64_t paperNnz;   ///< NNZ in the paper.
+    double paperAvgRowL; ///< AvgRowL in the paper.
+    uint64_t seed;      ///< Generator seed (deterministic build).
+
+    /** Builds the scaled analog matrix (labels shuffled). */
+    CsrMatrix make() const;
+};
+
+/** Returns the eight Table-1 analog descriptors, in paper order. */
+const std::vector<Table1Entry>& table1Entries();
+
+/** Looks an entry up by abbreviation ("YH", "reddit", ...). */
+const Table1Entry& table1ByAbbr(const std::string& abbr);
+
+/**
+ * The four graphs of the Fig. 16 end-to-end GCN case study: YeastH,
+ * protein (from Table 1) plus analogs of IGB-tiny and IGB-small
+ * (homogeneous Illinois Graph Benchmark graphs).
+ */
+const std::vector<Table1Entry>& gnnCaseStudyEntries();
+
+} // namespace dtc
+
+#endif // DTC_DATASETS_TABLE1_H

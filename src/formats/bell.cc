@@ -1,0 +1,113 @@
+#include "formats/bell.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dtc {
+
+int64_t
+BellMatrix::footprintBytes() const
+{
+    // Computed from dimensions so structure-only builds report the
+    // footprint a full materialization would need.
+    return nBlockRows * nEllCols * (bSize * bSize * 4 + 4);
+}
+
+double
+BellMatrix::fillEfficiency() const
+{
+    const int64_t slots = nBlockRows * nEllCols * bSize * bSize;
+    return slots > 0 ? static_cast<double>(nNnz) /
+                           static_cast<double>(slots)
+                     : 0.0;
+}
+
+BellBuildResult
+bellTryBuild(const CsrMatrix& m, int64_t block_size,
+             int64_t mem_limit_bytes, bool materialize_values)
+{
+    DTC_CHECK(block_size > 0);
+    BellBuildResult res;
+
+    const int64_t block_rows = (m.rows() + block_size - 1) / block_size;
+    const auto& row_ptr = m.rowPtr();
+    const auto& col_idx = m.colIdx();
+
+    // Pass 1: distinct block columns per block row.
+    std::vector<std::vector<int32_t>> bcols(
+        static_cast<size_t>(block_rows));
+    std::vector<int32_t> scratch;
+    int64_t ell_cols = 0;
+    int64_t real_blocks = 0;
+    for (int64_t br = 0; br < block_rows; ++br) {
+        const int64_t row_lo = br * block_size;
+        const int64_t row_hi = std::min(row_lo + block_size, m.rows());
+        scratch.clear();
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+                scratch.push_back(
+                    static_cast<int32_t>(col_idx[k] / block_size));
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        bcols[br] = scratch;
+        ell_cols = std::max(
+            ell_cols, static_cast<int64_t>(scratch.size()));
+        real_blocks += static_cast<int64_t>(scratch.size());
+    }
+
+    res.projectedBytes =
+        block_rows * ell_cols * (block_size * block_size * 4 + 4);
+    if (res.projectedBytes > mem_limit_bytes) {
+        res.oom = true;
+        return res;
+    }
+
+    BellMatrix& b = res.matrix;
+    b.nRows = m.rows();
+    b.nCols = m.cols();
+    b.nNnz = m.nnz();
+    b.bSize = block_size;
+    b.nBlockRows = block_rows;
+    b.nEllCols = ell_cols;
+    b.nRealBlocks = real_blocks;
+    b.blockColArr.assign(
+        static_cast<size_t>(block_rows * ell_cols), BellMatrix::kPadBlock);
+    if (materialize_values) {
+        b.valArr.assign(static_cast<size_t>(block_rows * ell_cols *
+                                            block_size * block_size),
+                        0.0f);
+    }
+
+    // Pass 2: scatter values into their dense blocks.
+    for (int64_t br = 0; br < block_rows; ++br) {
+        const auto& cols = bcols[br];
+        for (size_t s = 0; s < cols.size(); ++s)
+            b.blockColArr[br * ell_cols + static_cast<int64_t>(s)] =
+                cols[s];
+        if (!materialize_values)
+            continue;
+
+        const int64_t row_lo = br * block_size;
+        const int64_t row_hi = std::min(row_lo + block_size, m.rows());
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                int32_t bc = static_cast<int32_t>(
+                    col_idx[k] / block_size);
+                auto it =
+                    std::lower_bound(cols.begin(), cols.end(), bc);
+                int64_t slot = it - cols.begin();
+                int64_t lr = r - row_lo;
+                int64_t lc = col_idx[k] % block_size;
+                b.valArr[((br * ell_cols + slot) * block_size + lr) *
+                             block_size +
+                         lc] = m.values()[k];
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace dtc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Blocked-Ellpack (BELL) format — the structured-sparsity format
+ * behind cuSPARSE's Block-SpMM baseline (paper Section 5.2).
+ *
+ * The matrix is tiled into blockSize x blockSize blocks.  Every block
+ * row stores the same number of block columns (the maximum over block
+ * rows, ELL-style), padding with zero blocks.  Dense values of every
+ * stored block are materialized including zeros — this padding is why
+ * BELL "can lead to out-of-memory (OOM) issues when applied to
+ * large-scale matrices" (paper, Fig. 12 discussion), which tryBuild
+ * reproduces by projecting the footprint before materializing.
+ */
+#ifndef DTC_FORMATS_BELL_H
+#define DTC_FORMATS_BELL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+struct BellBuildResult;
+
+/** A matrix stored in Blocked-Ellpack format. */
+class BellMatrix
+{
+  public:
+    /** Sentinel block-column index for ELL padding. */
+    static constexpr int32_t kPadBlock = -1;
+
+    int64_t rows() const { return nRows; }
+    int64_t cols() const { return nCols; }
+    int64_t nnz() const { return nNnz; }
+    int64_t blockSize() const { return bSize; }
+    int64_t numBlockRows() const { return nBlockRows; }
+
+    /** Block columns stored per block row (the padded ELL width). */
+    int64_t ellCols() const { return nEllCols; }
+
+    /** Number of genuinely nonzero blocks (before ELL padding). */
+    int64_t numNonzeroBlocks() const { return nRealBlocks; }
+
+    /** Block-column index array, kPadBlock where padded. */
+    const std::vector<int32_t>& blockColIdx() const { return blockColArr; }
+
+    /** Dense block values: [blockRow][ellSlot][r][c], row-major. */
+    const std::vector<float>& values() const { return valArr; }
+
+    /** Bytes of the values + index arrays. */
+    int64_t footprintBytes() const;
+
+    /** Fraction of stored value slots that hold real nonzeros. */
+    double fillEfficiency() const;
+
+    friend BellBuildResult bellTryBuild(const CsrMatrix& m,
+                                        int64_t block_size,
+                                        int64_t mem_limit_bytes,
+                                        bool materialize_values);
+
+  private:
+    int64_t nRows = 0;
+    int64_t nCols = 0;
+    int64_t nNnz = 0;
+    int64_t bSize = 0;
+    int64_t nBlockRows = 0;
+    int64_t nEllCols = 0;
+    int64_t nRealBlocks = 0;
+    std::vector<int32_t> blockColArr;
+    std::vector<float> valArr;
+};
+
+/** Outcome of a BELL conversion attempt. */
+struct BellBuildResult
+{
+    bool oom = false;            ///< Projected footprint over the limit.
+    int64_t projectedBytes = 0;  ///< Footprint the conversion would need.
+    BellMatrix matrix;           ///< Valid only when !oom.
+};
+
+/**
+ * Converts @p m to BELL with the given block size, refusing (oom=true)
+ * if the padded footprint would exceed @p mem_limit_bytes — modelling
+ * the 24 GB device-memory budget of the paper's GPUs.
+ *
+ * With @p materialize_values = false only the block-column structure
+ * is built (values() stays empty): enough for cost analysis without
+ * allocating the multi-GiB padded value array.
+ */
+BellBuildResult bellTryBuild(const CsrMatrix& m, int64_t block_size,
+                             int64_t mem_limit_bytes,
+                             bool materialize_values = true);
+
+} // namespace dtc
+
+#endif // DTC_FORMATS_BELL_H

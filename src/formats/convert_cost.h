@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cost models for format conversion (paper Section 6, overhead 1).
+ *
+ * DTC-SpMM converts CSR to ME-TCF with "highly parallel CUDA
+ * kernels": a per-window column histogram/dedup pass, prefix sums
+ * over windows and TC blocks, and a scatter pass writing TCLocalId /
+ * SparseAtoB.  The paper measures this at 1.48x (YeastH) and 14.5x
+ * (protein) of one SpMM, and 101x/72x faster than TC-GNN's
+ * CPU-side conversion.
+ *
+ * This module reproduces those comparisons on the simulator: the
+ * GPU conversion is costed as streaming passes over the CSR and
+ * ME-TCF arrays (sort-dominated within windows), and TC-GNN's
+ * conversion as a single-threaded CPU pass.
+ */
+#ifndef DTC_FORMATS_CONVERT_COST_H
+#define DTC_FORMATS_CONVERT_COST_H
+
+#include "gpusim/cost_model.h"
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/**
+ * Simulated time of the GPU-accelerated CSR -> ME-TCF conversion.
+ * One thread block per row window; per window the cost covers
+ * loading the window's nonzeros, an in-shared-memory sort/dedup of
+ * column indices (the SGT condensation), and scattering local ids,
+ * lane tables and values.
+ */
+LaunchResult meTcfConversionCost(const CsrMatrix& m,
+                                 const CostModel& cm);
+
+/**
+ * Modeled time of TC-GNN's conversion, which "does not utilize GPU
+ * acceleration" (paper Fig. 16 footnote): a single-threaded CPU
+ * pass building the five TCF arrays with per-edge hash-map lookups.
+ * Calibrated at ~80 ns per nonzero on the paper's host.
+ */
+double tcgnnCpuConversionMs(const CsrMatrix& m);
+
+} // namespace dtc
+
+#endif // DTC_FORMATS_CONVERT_COST_H

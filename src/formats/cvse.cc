@@ -1,0 +1,83 @@
+#include "formats/cvse.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dtc {
+
+CvseMatrix
+CvseMatrix::build(const CsrMatrix& m, int64_t vec_len)
+{
+    DTC_CHECK(vec_len > 0);
+    CvseMatrix v;
+    v.nRows = m.rows();
+    v.nCols = m.cols();
+    v.nNnz = m.nnz();
+    v.vLen = vec_len;
+
+    const int64_t panels = (m.rows() + vec_len - 1) / vec_len;
+    v.panelOffsetArr.resize(static_cast<size_t>(panels) + 1, 0);
+
+    const auto& row_ptr = m.rowPtr();
+    const auto& col_idx = m.colIdx();
+    const auto& vals = m.values();
+
+    std::vector<int32_t> scratch;
+    for (int64_t p = 0; p < panels; ++p) {
+        const int64_t row_lo = p * vec_len;
+        const int64_t row_hi = std::min(row_lo + vec_len, m.rows());
+        scratch.clear();
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            scratch.insert(scratch.end(),
+                           col_idx.begin() + row_ptr[r],
+                           col_idx.begin() + row_ptr[r + 1]);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+
+        const int64_t first_vec = static_cast<int64_t>(v.vecColArr.size());
+        v.vecColArr.insert(v.vecColArr.end(), scratch.begin(),
+                           scratch.end());
+        v.valArr.resize(v.vecColArr.size() * vec_len, 0.0f);
+
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                auto it = std::lower_bound(scratch.begin(),
+                                           scratch.end(), col_idx[k]);
+                int64_t vec = first_vec + (it - scratch.begin());
+                v.valArr[vec * vec_len + (r - row_lo)] = vals[k];
+            }
+        }
+        v.panelOffsetArr[p + 1] =
+            static_cast<int64_t>(v.vecColArr.size());
+    }
+    return v;
+}
+
+double
+CvseMatrix::meanNnzPerVector() const
+{
+    return numVectors() > 0 ? static_cast<double>(nNnz) /
+                                  static_cast<double>(numVectors())
+                            : 0.0;
+}
+
+double
+CvseMatrix::fillEfficiency() const
+{
+    if (valArr.empty())
+        return 0.0;
+    return static_cast<double>(nNnz) / static_cast<double>(valArr.size());
+}
+
+int64_t
+CvseMatrix::footprintBytes() const
+{
+    return static_cast<int64_t>(valArr.size()) * 4 +
+           static_cast<int64_t>(vecColArr.size()) * 4 +
+           static_cast<int64_t>(panelOffsetArr.size()) * 4;
+}
+
+} // namespace dtc

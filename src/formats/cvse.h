@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Column Vector Sparse Encoding (CVSE) — the format behind the
+ * VectorSparse baseline (Chen et al., SC'21; paper Section 5.2).
+ *
+ * Rows are grouped into panels of height vecLen.  Within each panel,
+ * every distinct nonzero column is stored as one dense column vector
+ * of vecLen values (zero-padded where a row lacks that column).  This
+ * is finer-grained than BELL blocks, so padding is milder, but every
+ * vector still pays for absent rows — which is why VectorSparse loses
+ * on highly unstructured matrices.
+ */
+#ifndef DTC_FORMATS_CVSE_H
+#define DTC_FORMATS_CVSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** A matrix stored in Column Vector Sparse Encoding. */
+class CvseMatrix
+{
+  public:
+    /** Builds CVSE with panels of height @p vec_len. */
+    static CvseMatrix build(const CsrMatrix& m, int64_t vec_len);
+
+    int64_t rows() const { return nRows; }
+    int64_t cols() const { return nCols; }
+    int64_t nnz() const { return nNnz; }
+    int64_t vecLen() const { return vLen; }
+    int64_t numPanels() const
+    {
+        return static_cast<int64_t>(panelOffsetArr.size()) - 1;
+    }
+    int64_t numVectors() const
+    {
+        return static_cast<int64_t>(vecColArr.size());
+    }
+
+    /** First vector of each panel (size numPanels()+1). */
+    const std::vector<int64_t>& panelOffset() const
+    {
+        return panelOffsetArr;
+    }
+
+    /** Original column of each vector. */
+    const std::vector<int32_t>& vecCol() const { return vecColArr; }
+
+    /** Vector values: numVectors x vecLen, row within panel major. */
+    const std::vector<float>& values() const { return valArr; }
+
+    /** Mean nonzeros per stored vector (condensation quality). */
+    double meanNnzPerVector() const;
+
+    /** Fraction of stored value slots holding real nonzeros. */
+    double fillEfficiency() const;
+
+    /** Bytes of values + index arrays. */
+    int64_t footprintBytes() const;
+
+  private:
+    int64_t nRows = 0;
+    int64_t nCols = 0;
+    int64_t nNnz = 0;
+    int64_t vLen = 0;
+    std::vector<int64_t> panelOffsetArr;
+    std::vector<int32_t> vecColArr;
+    std::vector<float> valArr;
+};
+
+} // namespace dtc
+
+#endif // DTC_FORMATS_CVSE_H

@@ -1,0 +1,211 @@
+#include "formats/me_tcf.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "matrix/coo.h"
+
+namespace dtc {
+
+MeTcfMatrix
+MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
+{
+    DTC_CHECK_MSG(shape.windowHeight * shape.blockWidth <= 256,
+                  "TC block too large for 8-bit local ids");
+    SgtResult sgt = sgtCondense(m, shape);
+
+    MeTcfMatrix t;
+    t.nRows = m.rows();
+    t.nCols = m.cols();
+    t.blockShape = shape;
+
+    // Prefix-sum blocks-per-window into rowWindowOffset.
+    t.rowWindowOffsetArr.resize(static_cast<size_t>(sgt.numWindows) + 1,
+                                0);
+    for (int64_t w = 0; w < sgt.numWindows; ++w) {
+        t.rowWindowOffsetArr[w + 1] =
+            t.rowWindowOffsetArr[w] + sgt.blocksPerWindow[w];
+    }
+    const int64_t num_blocks = t.rowWindowOffsetArr.back();
+    DTC_ASSERT(num_blocks == sgt.numTcBlocks);
+
+    // sparseAtoB: the original column behind each block lane.
+    t.sparseAtoBArr.assign(
+        static_cast<size_t>(num_blocks) * shape.blockWidth, kPadColumn);
+    for (int64_t w = 0; w < sgt.numWindows; ++w) {
+        const int32_t* cols = sgt.windowColsBegin(w);
+        const int64_t count = sgt.windowColCount(w);
+        const int64_t block0 = t.rowWindowOffsetArr[w];
+        for (int64_t j = 0; j < count; ++j) {
+            int64_t b = block0 + j / shape.blockWidth;
+            int64_t lane = j % shape.blockWidth;
+            t.sparseAtoBArr[b * shape.blockWidth + lane] = cols[j];
+        }
+    }
+
+    // Count nonzeros per TC block, then place (localId, value) pairs.
+    const auto& row_ptr = m.rowPtr();
+    const auto& col_idx = m.colIdx();
+    const auto& vals = m.values();
+
+    t.tcOffsetArr.assign(static_cast<size_t>(num_blocks) + 1, 0);
+    for (int64_t w = 0; w < sgt.numWindows; ++w) {
+        const int64_t row_lo = w * shape.windowHeight;
+        const int64_t row_hi =
+            std::min(row_lo + shape.windowHeight, m.rows());
+        const int32_t* cols_begin = sgt.windowColsBegin(w);
+        const int32_t* cols_end = cols_begin + sgt.windowColCount(w);
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                auto it = std::lower_bound(cols_begin, cols_end,
+                                           col_idx[k]);
+                int64_t newcol = it - cols_begin;
+                int64_t b = t.rowWindowOffsetArr[w] +
+                            newcol / shape.blockWidth;
+                t.tcOffsetArr[b + 1]++;
+            }
+        }
+    }
+    for (size_t i = 1; i < t.tcOffsetArr.size(); ++i)
+        t.tcOffsetArr[i] += t.tcOffsetArr[i - 1];
+
+    t.localIdArr.resize(static_cast<size_t>(m.nnz()));
+    t.valArr.resize(static_cast<size_t>(m.nnz()));
+    std::vector<int64_t> cursor(t.tcOffsetArr.begin(),
+                                t.tcOffsetArr.end() - 1);
+    for (int64_t w = 0; w < sgt.numWindows; ++w) {
+        const int64_t row_lo = w * shape.windowHeight;
+        const int64_t row_hi =
+            std::min(row_lo + shape.windowHeight, m.rows());
+        const int32_t* cols_begin = sgt.windowColsBegin(w);
+        const int32_t* cols_end = cols_begin + sgt.windowColCount(w);
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                auto it = std::lower_bound(cols_begin, cols_end,
+                                           col_idx[k]);
+                int64_t newcol = it - cols_begin;
+                int64_t b = t.rowWindowOffsetArr[w] +
+                            newcol / shape.blockWidth;
+                int64_t local =
+                    (r - row_lo) * shape.blockWidth +
+                    newcol % shape.blockWidth;
+                int64_t pos = cursor[b]++;
+                t.localIdArr[pos] = static_cast<uint8_t>(local);
+                t.valArr[pos] = vals[k];
+            }
+        }
+    }
+
+    // Rows are visited in order and columns ascend within a row, so
+    // entries land in each block sorted by (localRow, localCol) — i.e.
+    // ascending localId.  Assert rather than re-sort.
+    return t;
+}
+
+MeTcfMatrix
+MeTcfMatrix::fromParts(int64_t rows, int64_t cols, TcBlockShape shape,
+                       std::vector<int64_t> row_window_offset,
+                       std::vector<int64_t> tc_offset,
+                       std::vector<uint8_t> tc_local_id,
+                       std::vector<int32_t> sparse_a_to_b,
+                       std::vector<float> values)
+{
+    MeTcfMatrix t;
+    t.nRows = rows;
+    t.nCols = cols;
+    t.blockShape = shape;
+    t.rowWindowOffsetArr = std::move(row_window_offset);
+    t.tcOffsetArr = std::move(tc_offset);
+    t.localIdArr = std::move(tc_local_id);
+    t.sparseAtoBArr = std::move(sparse_a_to_b);
+    t.valArr = std::move(values);
+    t.validate();
+    return t;
+}
+
+double
+MeTcfMatrix::meanNnzTc() const
+{
+    const int64_t blocks = numTcBlocks();
+    return blocks > 0 ? static_cast<double>(nnz()) /
+                            static_cast<double>(blocks)
+                      : 0.0;
+}
+
+int64_t
+MeTcfMatrix::indexElementCount() const
+{
+    const int64_t windows = numWindows();
+    const int64_t blocks = numTcBlocks();
+    // Paper accounting: ceil(M/16) + 9*NumTCBlocks + NNZ/4 + 2, with
+    // tcLocalId packed 4-per-32-bit-word (rounded up).
+    return windows + 1 + blocks + 1 +
+           blocks * blockShape.blockWidth + (nnz() + 3) / 4;
+}
+
+void
+MeTcfMatrix::expandBlock(int64_t b, float* tile) const
+{
+    const int64_t tile_elems =
+        blockShape.windowHeight * blockShape.blockWidth;
+    std::fill(tile, tile + tile_elems, 0.0f);
+    for (int64_t k = tcOffsetArr[b]; k < tcOffsetArr[b + 1]; ++k)
+        tile[localIdArr[k]] = valArr[k];
+}
+
+void
+MeTcfMatrix::validate() const
+{
+    DTC_ASSERT(!rowWindowOffsetArr.empty());
+    DTC_ASSERT(rowWindowOffsetArr.front() == 0);
+    DTC_ASSERT(rowWindowOffsetArr.back() == numTcBlocks());
+    DTC_ASSERT(tcOffsetArr.front() == 0);
+    DTC_ASSERT(tcOffsetArr.back() ==
+               static_cast<int64_t>(localIdArr.size()));
+    DTC_ASSERT(localIdArr.size() == valArr.size());
+    DTC_ASSERT(static_cast<int64_t>(sparseAtoBArr.size()) ==
+               numTcBlocks() * blockShape.blockWidth);
+
+    const int max_local =
+        blockShape.windowHeight * blockShape.blockWidth;
+    for (int64_t b = 0; b < numTcBlocks(); ++b) {
+        DTC_ASSERT(tcOffsetArr[b] <= tcOffsetArr[b + 1]);
+        for (int64_t k = tcOffsetArr[b]; k < tcOffsetArr[b + 1]; ++k) {
+            DTC_ASSERT(localIdArr[k] < max_local);
+            if (k > tcOffsetArr[b])
+                DTC_ASSERT(localIdArr[k - 1] < localIdArr[k]);
+            // A populated local column must have a real source column.
+            int lane = localIdArr[k] % blockShape.blockWidth;
+            DTC_ASSERT(sparseAtoBArr[b * blockShape.blockWidth + lane] !=
+                       kPadColumn);
+        }
+    }
+    for (int32_t c : sparseAtoBArr)
+        DTC_ASSERT(c == kPadColumn || (c >= 0 && c < nCols));
+}
+
+CsrMatrix
+MeTcfMatrix::toCsr() const
+{
+    CooMatrix coo(nRows, nCols);
+    coo.reserve(static_cast<size_t>(nnz()));
+    const int64_t wh = blockShape.windowHeight;
+    const int64_t bw = blockShape.blockWidth;
+    for (int64_t w = 0; w < numWindows(); ++w) {
+        for (int64_t b = rowWindowOffsetArr[w];
+             b < rowWindowOffsetArr[w + 1]; ++b) {
+            for (int64_t k = tcOffsetArr[b]; k < tcOffsetArr[b + 1];
+                 ++k) {
+                int64_t local = localIdArr[k];
+                int64_t row = w * wh + local / bw;
+                int32_t col = sparseAtoBArr[b * bw + local % bw];
+                DTC_ASSERT(col != kPadColumn);
+                coo.add(static_cast<int32_t>(row), col, valArr[k]);
+            }
+        }
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+} // namespace dtc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * ME-TCF — DTC-SpMM's Memory-Efficient TC Format (paper Section 4.2).
+ *
+ * ME-TCF stores an SGT-condensed matrix in four index arrays:
+ *   - rowWindowOffset: first TC block of each window (ceil(M/16)+1)
+ *   - tcOffset:        first nonzero of each TC block (NumTCBlocks+1)
+ *   - tcLocalId:       8-bit local position of each nonzero inside its
+ *                      16x8 block: localRow*8 + localCol, in [0, 127]
+ *                      (NNZ bytes = NNZ/4 32-bit elements)
+ *   - sparseAtoB:      original B-row index of each of a block's 8
+ *                      columns, kPadColumn for padding
+ *                      (NumTCBlocks*8 elements)
+ * Total: ceil(M/16) + 9*NumTCBlocks + NNZ/4 + 2 elements — the memory
+ * reduction vs. TCF that Observation 1 / Section 5.3 quantify.
+ *
+ * Nonzeros are stored grouped by TC block (ascending local id within a
+ * block), which is the traversal order of the DTC-SpMM runtime kernel
+ * and what makes index-precomputing possible: a thread knows the
+ * nonzero's register slot directly from tcLocalId with no coordinate
+ * arithmetic.
+ */
+#ifndef DTC_FORMATS_ME_TCF_H
+#define DTC_FORMATS_ME_TCF_H
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/sgt.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace dtc {
+
+/** The Memory-Efficient TC Format. */
+class MeTcfMatrix
+{
+  public:
+    /** Sentinel in sparseAtoB for padded (absent) block columns. */
+    static constexpr int32_t kPadColumn = -1;
+
+    /** Builds ME-TCF from CSR (runs SGT internally). */
+    static MeTcfMatrix build(const CsrMatrix& m, TcBlockShape shape = {});
+
+    /**
+     * Reassembles an ME-TCF matrix from its raw arrays (validated) —
+     * the deserialization path of formats/serialize.h.
+     */
+    static MeTcfMatrix fromParts(int64_t rows, int64_t cols,
+                                 TcBlockShape shape,
+                                 std::vector<int64_t> row_window_offset,
+                                 std::vector<int64_t> tc_offset,
+                                 std::vector<uint8_t> tc_local_id,
+                                 std::vector<int32_t> sparse_a_to_b,
+                                 std::vector<float> values);
+
+    int64_t rows() const { return nRows; }
+    int64_t cols() const { return nCols; }
+    int64_t nnz() const { return static_cast<int64_t>(localIdArr.size()); }
+    int64_t numWindows() const
+    {
+        return static_cast<int64_t>(rowWindowOffsetArr.size()) - 1;
+    }
+    int64_t numTcBlocks() const
+    {
+        return static_cast<int64_t>(tcOffsetArr.size()) - 1;
+    }
+    const TcBlockShape& shape() const { return blockShape; }
+
+    /** First TC block of each row window (size numWindows()+1). */
+    const std::vector<int64_t>& rowWindowOffset() const
+    {
+        return rowWindowOffsetArr;
+    }
+
+    /** First nonzero of each TC block (size numTcBlocks()+1). */
+    const std::vector<int64_t>& tcOffset() const { return tcOffsetArr; }
+
+    /** 8-bit local position of each nonzero inside its block. */
+    const std::vector<uint8_t>& tcLocalId() const { return localIdArr; }
+
+    /** Original B-row per block column (size numTcBlocks()*8). */
+    const std::vector<int32_t>& sparseAtoB() const { return sparseAtoBArr; }
+
+    /** Nonzero values aligned with tcLocalId. */
+    const std::vector<float>& values() const { return valArr; }
+
+    /** TC blocks in row window @p w. */
+    int64_t
+    blocksInWindow(int64_t w) const
+    {
+        return rowWindowOffsetArr[w + 1] - rowWindowOffsetArr[w];
+    }
+
+    /** Nonzeros in TC block @p b. */
+    int64_t
+    nnzInBlock(int64_t b) const
+    {
+        return tcOffsetArr[b + 1] - tcOffsetArr[b];
+    }
+
+    /** MeanNnzTC = NNZ / NumTCBlocks. */
+    double meanNnzTc() const;
+
+    /**
+     * Index footprint in 32-bit-element units per the paper's
+     * accounting: ceil(M/16) + 9*NumTCBlocks + NNZ/4 + 2.
+     */
+    int64_t indexElementCount() const;
+
+    /**
+     * Reconstructs the dense 16x8 tile of TC block @p b into
+     * @p tile (row-major 16x8, zero-filled first).  Used by tests and
+     * by the functional tensor-core kernels.
+     */
+    void expandBlock(int64_t b, float* tile) const;
+
+    /** Validates all structural invariants (throws on violation). */
+    void validate() const;
+
+    /** Converts back to CSR (for round-trip testing). */
+    CsrMatrix toCsr() const;
+
+  private:
+    int64_t nRows = 0;
+    int64_t nCols = 0;
+    TcBlockShape blockShape;
+    std::vector<int64_t> rowWindowOffsetArr;
+    std::vector<int64_t> tcOffsetArr;
+    std::vector<uint8_t> localIdArr;
+    std::vector<int32_t> sparseAtoBArr;
+    std::vector<float> valArr;
+};
+
+} // namespace dtc
+
+#endif // DTC_FORMATS_ME_TCF_H

@@ -1,0 +1,237 @@
+#include "formats/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dtc {
+
+namespace {
+
+constexpr char kCsrMagic[8] = {'D', 'T', 'C', 'C', 'S', 'R', '1', 0};
+constexpr char kMeTcfMagic[8] = {'D', 'T', 'C', 'M', 'E', 'T', '1', 0};
+constexpr uint32_t kVersion = 1;
+
+/** Streaming FNV-1a over everything written/read after the magic. */
+class Checksum
+{
+  public:
+    void
+    feed(const void* data, size_t bytes)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (size_t i = 0; i < bytes; ++i) {
+            state ^= p[i];
+            state *= 0x100000001b3ull;
+        }
+    }
+
+    uint64_t value() const { return state; }
+
+  private:
+    uint64_t state = 0xcbf29ce484222325ull;
+};
+
+/** Binary writer with checksum accumulation. */
+class Writer
+{
+  public:
+    Writer(std::ostream& out, const char magic[8]) : stream(out)
+    {
+        stream.write(magic, 8);
+        pod(kVersion);
+    }
+
+    template <typename T>
+    void
+    pod(const T& v)
+    {
+        stream.write(reinterpret_cast<const char*>(&v), sizeof(T));
+        sum.feed(&v, sizeof(T));
+    }
+
+    template <typename T>
+    void
+    vec(const std::vector<T>& v)
+    {
+        pod(static_cast<uint64_t>(v.size()));
+        if (!v.empty()) {
+            stream.write(reinterpret_cast<const char*>(v.data()),
+                         static_cast<std::streamsize>(v.size() *
+                                                      sizeof(T)));
+            sum.feed(v.data(), v.size() * sizeof(T));
+        }
+    }
+
+    void
+    finish()
+    {
+        const uint64_t checksum = sum.value();
+        stream.write(reinterpret_cast<const char*>(&checksum),
+                     sizeof(checksum));
+        DTC_CHECK_MSG(stream.good(), "write failed");
+    }
+
+  private:
+    std::ostream& stream;
+    Checksum sum;
+};
+
+/** Binary reader with checksum verification. */
+class Reader
+{
+  public:
+    Reader(std::istream& in, const char magic[8]) : stream(in)
+    {
+        char got[8];
+        stream.read(got, 8);
+        DTC_CHECK_MSG(stream.good() &&
+                          std::memcmp(got, magic, 8) == 0,
+                      "bad magic: not a " << magic << " file");
+        const uint32_t version = pod<uint32_t>();
+        DTC_CHECK_MSG(version == kVersion,
+                      "unsupported version " << version);
+    }
+
+    template <typename T>
+    T
+    pod()
+    {
+        T v{};
+        stream.read(reinterpret_cast<char*>(&v), sizeof(T));
+        DTC_CHECK_MSG(stream.good(), "truncated stream");
+        sum.feed(&v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vec(uint64_t max_len = (1ull << 33))
+    {
+        const uint64_t len = pod<uint64_t>();
+        DTC_CHECK_MSG(len <= max_len, "implausible array length");
+        std::vector<T> v(static_cast<size_t>(len));
+        if (len > 0) {
+            stream.read(reinterpret_cast<char*>(v.data()),
+                        static_cast<std::streamsize>(len * sizeof(T)));
+            DTC_CHECK_MSG(stream.good(), "truncated stream");
+            sum.feed(v.data(), v.size() * sizeof(T));
+        }
+        return v;
+    }
+
+    void
+    finish()
+    {
+        uint64_t stored = 0;
+        stream.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+        DTC_CHECK_MSG(stream.good() && stored == sum.value(),
+                      "checksum mismatch (corrupt file)");
+    }
+
+  private:
+    std::istream& stream;
+    Checksum sum;
+};
+
+} // namespace
+
+void
+saveCsr(std::ostream& out, const CsrMatrix& m)
+{
+    Writer w(out, kCsrMagic);
+    w.pod(m.rows());
+    w.pod(m.cols());
+    w.vec(m.rowPtr());
+    w.vec(m.colIdx());
+    w.vec(m.values());
+    w.finish();
+}
+
+CsrMatrix
+loadCsr(std::istream& in)
+{
+    Reader r(in, kCsrMagic);
+    const int64_t rows = r.pod<int64_t>();
+    const int64_t cols = r.pod<int64_t>();
+    auto row_ptr = r.vec<int64_t>();
+    auto col_idx = r.vec<int32_t>();
+    auto values = r.vec<float>();
+    r.finish();
+    return CsrMatrix::fromParts(rows, cols, std::move(row_ptr),
+                                std::move(col_idx),
+                                std::move(values));
+}
+
+void
+saveMeTcf(std::ostream& out, const MeTcfMatrix& m)
+{
+    Writer w(out, kMeTcfMagic);
+    w.pod(m.rows());
+    w.pod(m.cols());
+    w.pod(static_cast<int32_t>(m.shape().windowHeight));
+    w.pod(static_cast<int32_t>(m.shape().blockWidth));
+    w.vec(m.rowWindowOffset());
+    w.vec(m.tcOffset());
+    w.vec(m.tcLocalId());
+    w.vec(m.sparseAtoB());
+    w.vec(m.values());
+    w.finish();
+}
+
+MeTcfMatrix
+loadMeTcf(std::istream& in)
+{
+    Reader r(in, kMeTcfMagic);
+    const int64_t rows = r.pod<int64_t>();
+    const int64_t cols = r.pod<int64_t>();
+    TcBlockShape shape;
+    shape.windowHeight = r.pod<int32_t>();
+    shape.blockWidth = r.pod<int32_t>();
+    auto rwo = r.vec<int64_t>();
+    auto tco = r.vec<int64_t>();
+    auto lid = r.vec<uint8_t>();
+    auto atob = r.vec<int32_t>();
+    auto vals = r.vec<float>();
+    r.finish();
+    return MeTcfMatrix::fromParts(rows, cols, shape, std::move(rwo),
+                                  std::move(tco), std::move(lid),
+                                  std::move(atob), std::move(vals));
+}
+
+void
+saveCsrFile(const std::string& path, const CsrMatrix& m)
+{
+    std::ofstream f(path, std::ios::binary);
+    DTC_CHECK_MSG(f.good(), "cannot open " << path);
+    saveCsr(f, m);
+}
+
+CsrMatrix
+loadCsrFile(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    DTC_CHECK_MSG(f.good(), "cannot open " << path);
+    return loadCsr(f);
+}
+
+void
+saveMeTcfFile(const std::string& path, const MeTcfMatrix& m)
+{
+    std::ofstream f(path, std::ios::binary);
+    DTC_CHECK_MSG(f.good(), "cannot open " << path);
+    saveMeTcf(f, m);
+}
+
+MeTcfMatrix
+loadMeTcfFile(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    DTC_CHECK_MSG(f.good(), "cannot open " << path);
+    return loadMeTcf(f);
+}
+
+} // namespace dtc

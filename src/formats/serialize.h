@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary (de)serialization of CSR and ME-TCF matrices.
+ *
+ * Section 6 of the paper argues that sparse-matrix collections and
+ * GNN frameworks should "perform reordering and format conversion
+ * once on the stored sparse matrices" and amortize the cost across
+ * every application built on them.  That deployment story needs the
+ * converted format to be persistable; this module provides a simple
+ * versioned little-endian container for it.
+ *
+ * Layout: 8-byte magic, u32 version, then the arrays with u64
+ * length prefixes.  Integrity is guarded by the magic/version and a
+ * trailing FNV-1a checksum over the payload.
+ */
+#ifndef DTC_FORMATS_SERIALIZE_H
+#define DTC_FORMATS_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "formats/me_tcf.h"
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** Writes @p m to a binary stream. */
+void saveCsr(std::ostream& out, const CsrMatrix& m);
+
+/** Reads a CSR matrix written by saveCsr. Throws on corruption. */
+CsrMatrix loadCsr(std::istream& in);
+
+/** Writes an ME-TCF matrix to a binary stream. */
+void saveMeTcf(std::ostream& out, const MeTcfMatrix& m);
+
+/** Reads an ME-TCF matrix written by saveMeTcf. */
+MeTcfMatrix loadMeTcf(std::istream& in);
+
+/** File-path conveniences. */
+void saveCsrFile(const std::string& path, const CsrMatrix& m);
+CsrMatrix loadCsrFile(const std::string& path);
+void saveMeTcfFile(const std::string& path, const MeTcfMatrix& m);
+MeTcfMatrix loadMeTcfFile(const std::string& path);
+
+} // namespace dtc
+
+#endif // DTC_FORMATS_SERIALIZE_H

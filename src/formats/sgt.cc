@@ -1,0 +1,60 @@
+#include "formats/sgt.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dtc {
+
+SgtResult
+sgtCondense(const CsrMatrix& m, TcBlockShape shape)
+{
+    DTC_CHECK(shape.windowHeight > 0 && shape.blockWidth > 0);
+
+    SgtResult res;
+    res.rows = m.rows();
+    res.cols = m.cols();
+    res.nnz = m.nnz();
+    res.shape = shape;
+    res.numWindows =
+        (m.rows() + shape.windowHeight - 1) / shape.windowHeight;
+    res.windowColOffset.resize(static_cast<size_t>(res.numWindows) + 1, 0);
+    res.blocksPerWindow.resize(static_cast<size_t>(res.numWindows), 0);
+    res.windowCols.reserve(static_cast<size_t>(m.nnz()));
+
+    const auto& row_ptr = m.rowPtr();
+    const auto& col_idx = m.colIdx();
+
+    std::vector<int32_t> scratch;
+    for (int64_t w = 0; w < res.numWindows; ++w) {
+        const int64_t row_lo = w * shape.windowHeight;
+        const int64_t row_hi =
+            std::min(row_lo + shape.windowHeight, m.rows());
+        scratch.clear();
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            scratch.insert(scratch.end(),
+                           col_idx.begin() + row_ptr[r],
+                           col_idx.begin() + row_ptr[r + 1]);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+
+        res.windowCols.insert(res.windowCols.end(), scratch.begin(),
+                              scratch.end());
+        res.windowColOffset[w + 1] =
+            static_cast<int64_t>(res.windowCols.size());
+        const int64_t distinct = static_cast<int64_t>(scratch.size());
+        res.blocksPerWindow[w] = static_cast<int32_t>(
+            (distinct + shape.blockWidth - 1) / shape.blockWidth);
+        res.numTcBlocks += res.blocksPerWindow[w];
+    }
+
+    res.meanNnzTc = res.numTcBlocks > 0
+                        ? static_cast<double>(res.nnz) /
+                              static_cast<double>(res.numTcBlocks)
+                        : 0.0;
+    return res;
+}
+
+} // namespace dtc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sparse Graph Translation (SGT) condensation.
+ *
+ * SGT (introduced by TC-GNN, reused by DTC-SpMM) partitions a sparse
+ * matrix into row windows of height 16 and, within each window,
+ * compresses the distinct nonzero column indices "to the left": each
+ * distinct original column gets a compressed index 0..c-1.  Groups of
+ * 8 consecutive compressed columns x 16 rows form TC blocks — the
+ * 16x8 operand tiles consumed by tensor-core MMA.
+ *
+ * The condensation quality metric is MeanNnzTC = NNZ / NumTCBlocks
+ * (paper Observation 2): higher means denser TC blocks, less tensor-
+ * core work per nonzero and more reuse of B rows.
+ */
+#ifndef DTC_FORMATS_SGT_H
+#define DTC_FORMATS_SGT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** TC-block geometry shared by all condensed formats. */
+struct TcBlockShape
+{
+    int windowHeight = 16; ///< Rows per row window (MMA m).
+    int blockWidth = 8;    ///< Compressed columns per TC block (MMA n... k).
+};
+
+/** Result of SGT condensation of one matrix. */
+struct SgtResult
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t nnz = 0;
+    TcBlockShape shape;
+
+    /** Number of row windows: ceil(rows / windowHeight). */
+    int64_t numWindows = 0;
+
+    /** Start of each window's distinct-column list in windowCols. */
+    std::vector<int64_t> windowColOffset;
+
+    /**
+     * Concatenated per-window distinct original column indices in
+     * ascending order; the position within a window's slice is the
+     * compressed column index SGT assigns.
+     */
+    std::vector<int32_t> windowCols;
+
+    /** TC blocks per window: ceil(distinctCols / blockWidth). */
+    std::vector<int32_t> blocksPerWindow;
+
+    /** Total TC blocks across all windows. */
+    int64_t numTcBlocks = 0;
+
+    /** NNZ / NumTCBlocks — the condensation-quality metric. */
+    double meanNnzTc = 0.0;
+
+    /** Number of distinct columns in window @p w. */
+    int64_t
+    windowColCount(int64_t w) const
+    {
+        return windowColOffset[w + 1] - windowColOffset[w];
+    }
+
+    /** Pointer to window @p w's distinct columns. */
+    const int32_t*
+    windowColsBegin(int64_t w) const
+    {
+        return windowCols.data() + windowColOffset[w];
+    }
+};
+
+/**
+ * Runs SGT condensation over @p m.
+ *
+ * O(NNZ log W) where W is the max window population: per window the
+ * distinct columns of up to windowHeight sorted rows are merged.
+ */
+SgtResult sgtCondense(const CsrMatrix& m, TcBlockShape shape = {});
+
+} // namespace dtc
+
+#endif // DTC_FORMATS_SGT_H

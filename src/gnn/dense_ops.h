@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dense operations for the GNN stack: GEMM (with transpose options),
+ * bias, ReLU forward/backward, row softmax, cross-entropy — plus a
+ * cost model for cuBLAS-grade dense GEMM so end-to-end GCN training
+ * time (Fig. 16) can be simulated.
+ */
+#ifndef DTC_GNN_DENSE_OPS_H
+#define DTC_GNN_DENSE_OPS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "matrix/dense.h"
+
+namespace dtc {
+
+/** C = op(A) * op(B); op is optional transposition. */
+void gemm(const DenseMatrix& a, bool transpose_a, const DenseMatrix& b,
+          bool transpose_b, DenseMatrix& c);
+
+/** Adds bias vector @p bias (size c.cols()) to every row of @p c. */
+void addBias(DenseMatrix& c, const std::vector<float>& bias);
+
+/** In-place ReLU. */
+void reluForward(DenseMatrix& x);
+
+/**
+ * ReLU backward: zeroes gradient entries where the forward
+ * activation was <= 0.  @p activated is the post-ReLU tensor.
+ */
+void reluBackward(const DenseMatrix& activated, DenseMatrix& grad);
+
+/** Row-wise softmax, numerically stabilized. */
+void softmaxRows(DenseMatrix& x);
+
+/**
+ * Mean cross-entropy of softmax probabilities @p probs against
+ * integer @p labels; writes d(loss)/d(logits) into @p grad_logits
+ * (probs - onehot, scaled by 1/rows).
+ */
+double crossEntropy(const DenseMatrix& probs,
+                    const std::vector<int32_t>& labels,
+                    DenseMatrix* grad_logits);
+
+/** Fraction of rows whose argmax matches the label. */
+double accuracy(const DenseMatrix& probs,
+                const std::vector<int32_t>& labels);
+
+/**
+ * Simulated time of a dense m x k x n TF32 GEMM on @p arch — the
+ * cuBLAS-grade roofline every framework shares for the XW products.
+ */
+double denseGemmTimeMs(int64_t m, int64_t k, int64_t n,
+                       const ArchSpec& arch);
+
+/** Simulated time of an elementwise pass over @p elems floats. */
+double elementwiseTimeMs(int64_t elems, const ArchSpec& arch);
+
+} // namespace dtc
+
+#endif // DTC_GNN_DENSE_OPS_H

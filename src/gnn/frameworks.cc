@@ -1,0 +1,113 @@
+#include "gnn/frameworks.h"
+
+#include "common/check.h"
+#include "gnn/dense_ops.h"
+
+namespace dtc {
+
+const char*
+gnnFrameworkName(GnnFramework fw)
+{
+    switch (fw) {
+      case GnnFramework::DtcGcn:
+        return "DTC-GCN";
+      case GnnFramework::Dgl:
+        return "DGL";
+      case GnnFramework::PygSparseTensor:
+        return "PyG(SparseTensor)";
+      case GnnFramework::TcGnn:
+        return "TC-GNN";
+    }
+    return "?";
+}
+
+FrameworkProfile
+frameworkProfile(GnnFramework fw)
+{
+    FrameworkProfile p;
+    switch (fw) {
+      case GnnFramework::DtcGcn:
+        p.spmmKernel = KernelKind::Dtc;
+        p.spmmFactor = 1.0;
+        p.perOpOverheadMs = 0.006; // thin CUDA-extension dispatch
+        p.chargeConversion = true;
+        break;
+      case GnnFramework::Dgl:
+        p.spmmKernel = KernelKind::CuSparse;
+        // DGL's segment-reduce SpMM beats vanilla cuSPARSE slightly
+        // on GNN-shaped graphs.
+        p.spmmFactor = 0.85;
+        p.perOpOverheadMs = 0.020; // DGL graph-op dispatcher
+        break;
+      case GnnFramework::PygSparseTensor:
+        p.spmmKernel = KernelKind::CuSparse;
+        // torch-sparse's CSR kernel trails cuSPARSE on these shapes.
+        p.spmmFactor = 1.35;
+        p.perOpOverheadMs = 0.035; // autograd + SparseTensor wrapper
+        break;
+      case GnnFramework::TcGnn:
+        p.spmmKernel = KernelKind::Tcgnn;
+        p.spmmFactor = 1.0;
+        p.perOpOverheadMs = 0.008;
+        // Paper excludes TC-GNN's (CPU, very slow) conversion.
+        p.chargeConversion = false;
+        break;
+    }
+    return p;
+}
+
+GcnTrainingEstimate
+estimateGcnTraining(const CsrMatrix& a, GnnFramework fw,
+                    const GcnTrainingConfig& cfg, const ArchSpec& arch)
+{
+    DTC_CHECK(cfg.epochs > 0);
+    const FrameworkProfile prof = frameworkProfile(fw);
+    auto kernel = makeKernel(prof.spmmKernel);
+    const std::string err = kernel->prepare(a);
+    DTC_CHECK_MSG(err.empty(), kernel->name() << ": " << err);
+
+    const CostModel cm(arch);
+    const double spmm_in =
+        kernel->cost(cfg.inFeatures, cm).timeMs * prof.spmmFactor;
+    const double spmm_hidden =
+        kernel->cost(cfg.hidden, cm).timeMs * prof.spmmFactor;
+
+    const int64_t m = a.rows();
+    GcnTrainingEstimate est;
+
+    // Per epoch: forward SpMMs at widths F0 and hidden; backward
+    // SpMMs (dH paths) at the same widths.
+    const double spmm_epoch = 2.0 * (spmm_in + spmm_hidden);
+
+    // Dense GEMMs per epoch: each layer does XW forward plus dW and
+    // dZ W^T backward.
+    const double gemm_epoch =
+        denseGemmTimeMs(m, cfg.inFeatures, cfg.hidden, arch) * 3.0 +
+        denseGemmTimeMs(m, cfg.hidden, cfg.classes, arch) * 3.0;
+
+    // Elementwise traffic: ReLU fwd/bwd, bias, softmax, loss, SGD.
+    const double ew_epoch =
+        elementwiseTimeMs(m * cfg.hidden, arch) * 4.0 +
+        elementwiseTimeMs(m * cfg.classes, arch) * 3.0;
+
+    // ~18 operator launches per epoch pay framework dispatch.
+    const double overhead_epoch =
+        18.0 * prof.perOpOverheadMs + ew_epoch;
+
+    est.spmmMs = spmm_epoch * cfg.epochs;
+    est.gemmMs = gemm_epoch * cfg.epochs;
+    est.overheadMs = overhead_epoch * cfg.epochs;
+
+    if (prof.chargeConversion) {
+        // GPU-accelerated ME-TCF conversion: a few streaming passes
+        // (histogram, prefix sums, scatter, lane table) over the CSR
+        // arrays.
+        const double bytes = static_cast<double>(a.nnz()) * 40.0;
+        est.conversionMs = bytes / (arch.dramBwGBps * 1e9) * 1e3 * 6.0;
+    }
+    est.totalMs =
+        est.spmmMs + est.gemmMs + est.overheadMs + est.conversionMs;
+    return est;
+}
+
+} // namespace dtc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * GNN framework emulations for the Fig. 16 case study.
+ *
+ * The four training stacks the paper compares differ in (a) which
+ * SpMM kernel performs A x H, and (b) per-operator dispatch overhead:
+ *
+ *   - DTC-GCN: DTC-SpMM (Selector mode), light CUDA-extension
+ *     dispatch, plus ME-TCF format conversion counted once up front
+ *     (the paper includes it);
+ *   - DGL: cuSPARSE CSR SpMM behind a graph-kernel dispatcher;
+ *   - PyG (SparseTensor mode): torch-sparse's CSR kernel — modelled
+ *     as the cuSPARSE kernel at a torch-sparse efficiency factor —
+ *     behind PyTorch autograd dispatch;
+ *   - TC-GNN: TCGNN-SpMM; its (CPU-side, slow) format conversion is
+ *     excluded, as the paper does for Fig. 16.
+ */
+#ifndef DTC_GNN_FRAMEWORKS_H
+#define DTC_GNN_FRAMEWORKS_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gpusim/cost_model.h"
+#include "kernels/kernel.h"
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** Frameworks of the Fig. 16 comparison. */
+enum class GnnFramework
+{
+    DtcGcn,          ///< This paper's DTC-GCN.
+    Dgl,             ///< Deep Graph Library.
+    PygSparseTensor, ///< PyTorch-Geometric, SparseTensor mode.
+    TcGnn,           ///< TC-GNN.
+};
+
+/** Display name matching the paper. */
+const char* gnnFrameworkName(GnnFramework fw);
+
+/** Per-framework profile used by the time estimator. */
+struct FrameworkProfile
+{
+    /** Kernel performing A x H. */
+    KernelKind spmmKernel;
+
+    /** Multiplier on the SpMM kernel's simulated time (kernel-level
+     *  efficiency differences not captured by the kernel itself). */
+    double spmmFactor = 1.0;
+
+    /** Dispatch overhead per GPU operator launch (ms). */
+    double perOpOverheadMs = 0.0;
+
+    /** Whether one-time format conversion is charged (paper's
+     *  convention: yes for DTC-GCN, no for TC-GNN). */
+    bool chargeConversion = false;
+};
+
+/** Profile of one framework. */
+FrameworkProfile frameworkProfile(GnnFramework fw);
+
+/** Inputs of the training-time estimate. */
+struct GcnTrainingConfig
+{
+    int64_t inFeatures = 128;
+    int64_t hidden = 128;
+    int64_t classes = 16;
+    int epochs = 200;
+};
+
+/** Breakdown of an estimated training run. */
+struct GcnTrainingEstimate
+{
+    double totalMs = 0.0;
+    double spmmMs = 0.0;       ///< All epochs' SpMM time.
+    double gemmMs = 0.0;       ///< All epochs' dense GEMM time.
+    double overheadMs = 0.0;   ///< Dispatch + elementwise.
+    double conversionMs = 0.0; ///< One-time format conversion.
+};
+
+/**
+ * Estimates end-to-end 2-layer GCN training time on @p arch for the
+ * adjacency @p a under framework @p fw (paper Section 5.4 protocol:
+ * full-batch, 200 epochs, forward + backward each epoch).
+ */
+GcnTrainingEstimate estimateGcnTraining(const CsrMatrix& a,
+                                        GnnFramework fw,
+                                        const GcnTrainingConfig& cfg,
+                                        const ArchSpec& arch);
+
+} // namespace dtc
+
+#endif // DTC_GNN_FRAMEWORKS_H

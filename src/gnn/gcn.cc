@@ -1,0 +1,83 @@
+#include "gnn/gcn.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gnn/dense_ops.h"
+
+namespace dtc {
+
+GcnLayer::GcnLayer(int64_t in_features, int64_t out_features, bool relu,
+                   Rng& rng)
+    : applyRelu(relu), weight(in_features, out_features),
+      bias(static_cast<size_t>(out_features), 0.0f),
+      gradWeight(in_features, out_features),
+      gradBias(static_cast<size_t>(out_features), 0.0f)
+{
+    // Glorot-uniform initialization.
+    const float limit = std::sqrt(
+        6.0f / static_cast<float>(in_features + out_features));
+    weight.fillRandom(rng, -limit, limit);
+}
+
+void
+GcnLayer::forward(const SpmmKernel& kernel, const DenseMatrix& h,
+                  DenseMatrix& out)
+{
+    DTC_CHECK(h.cols() == weight.rows());
+    const int64_t nodes = h.rows();
+
+    if (aggregated.rows() != nodes || aggregated.cols() != h.cols())
+        aggregated = DenseMatrix(nodes, h.cols());
+    kernel.compute(h, aggregated);
+
+    if (out.rows() != nodes || out.cols() != weight.cols())
+        out = DenseMatrix(nodes, weight.cols());
+    gemm(aggregated, false, weight, false, out);
+    addBias(out, bias);
+    if (applyRelu)
+        reluForward(out);
+    activated = out;
+}
+
+void
+GcnLayer::backward(const SpmmKernel& kernel, const DenseMatrix& grad_out,
+                   DenseMatrix& grad_in)
+{
+    DTC_CHECK(grad_out.rows() == aggregated.rows());
+    DTC_CHECK(grad_out.cols() == weight.cols());
+
+    DenseMatrix dz = grad_out;
+    if (applyRelu)
+        reluBackward(activated, dz);
+
+    // dW = (A x H)^T x dZ ; db = column sums of dZ.
+    gemm(aggregated, true, dz, false, gradWeight);
+    std::fill(gradBias.begin(), gradBias.end(), 0.0f);
+    for (int64_t i = 0; i < dz.rows(); ++i)
+        for (int64_t j = 0; j < dz.cols(); ++j)
+            gradBias[j] += dz.at(i, j);
+
+    // dH = A^T x (dZ x W^T); A symmetric => same kernel.
+    DenseMatrix dzw(dz.rows(), weight.rows());
+    gemm(dz, false, weight, true, dzw);
+    if (grad_in.rows() != dz.rows() ||
+        grad_in.cols() != weight.rows())
+        grad_in = DenseMatrix(dz.rows(), weight.rows());
+    kernel.compute(dzw, grad_in);
+}
+
+void
+GcnLayer::step(float lr)
+{
+    for (int64_t i = 0; i < weight.rows(); ++i)
+        for (int64_t j = 0; j < weight.cols(); ++j)
+            weight.at(i, j) -= lr * gradWeight.at(i, j);
+    for (size_t j = 0; j < bias.size(); ++j)
+        bias[j] -= lr * gradBias[j];
+    gradWeight.setZero();
+    std::fill(gradBias.begin(), gradBias.end(), 0.0f);
+}
+
+} // namespace dtc

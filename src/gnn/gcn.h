@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Graph Convolutional Network layers (Kipf & Welling) — the paper's
+ * end-to-end case study workload (Section 5.4, Eq. 2):
+ *
+ *     H_{l+1} = sigma[(A x H_l) x w_l + b_l]
+ *
+ * The A x H product runs through any SpmmKernel, so DTC-GCN and the
+ * framework baselines differ only in which kernel (and overhead
+ * profile) they plug in.  Backward passes reuse the same kernel: for
+ * a symmetric adjacency, dH = A^T(...) = A(...).
+ */
+#ifndef DTC_GNN_GCN_H
+#define DTC_GNN_GCN_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace dtc {
+
+class Rng;
+
+/** One GraphConv layer with weights, bias and their gradients. */
+class GcnLayer
+{
+  public:
+    /**
+     * @param in_features   input feature width
+     * @param out_features  output feature width
+     * @param relu          apply ReLU (hidden layers only)
+     */
+    GcnLayer(int64_t in_features, int64_t out_features, bool relu,
+             Rng& rng);
+
+    int64_t inFeatures() const { return weight.rows(); }
+    int64_t outFeatures() const { return weight.cols(); }
+
+    /**
+     * Forward pass: out = act((A x h) x W + b), where the SpMM runs on
+     * @p kernel (already prepared with A).  Caches activations for
+     * backward().
+     */
+    void forward(const SpmmKernel& kernel, const DenseMatrix& h,
+                 DenseMatrix& out);
+
+    /**
+     * Backward pass: consumes d(loss)/d(out) in @p grad_out, fills
+     * weight/bias gradients and d(loss)/d(h) in @p grad_in.
+     * A is assumed symmetric (GNN adjacency), so A^T SpMM reuses the
+     * same kernel.
+     */
+    void backward(const SpmmKernel& kernel, const DenseMatrix& grad_out,
+                  DenseMatrix& grad_in);
+
+    /** SGD step with learning rate @p lr; clears gradients. */
+    void step(float lr);
+
+    const DenseMatrix& weights() const { return weight; }
+    const DenseMatrix& weightGrad() const { return gradWeight; }
+
+  private:
+    bool applyRelu;
+    DenseMatrix weight;    ///< in x out.
+    std::vector<float> bias;
+    DenseMatrix gradWeight;
+    std::vector<float> gradBias;
+
+    // Cached forward tensors.
+    DenseMatrix aggregated; ///< A x h.
+    DenseMatrix activated;  ///< Layer output (post activation).
+};
+
+} // namespace dtc
+
+#endif // DTC_GNN_GCN_H

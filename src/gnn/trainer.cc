@@ -1,0 +1,93 @@
+#include "gnn/trainer.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gnn/dense_ops.h"
+
+namespace dtc {
+
+GcnModel::GcnModel(const CsrMatrix& adjacency,
+                   std::unique_ptr<SpmmKernel> kernel, int64_t features,
+                   const TrainerConfig& cfg)
+    : spmm(std::move(kernel)), config(cfg), initRng(cfg.seed),
+      layer1(features, cfg.hidden, /*relu=*/true, initRng),
+      layer2(cfg.hidden, cfg.classes, /*relu=*/false, initRng)
+{
+    DTC_CHECK_MSG(adjacency.rows() == adjacency.cols(),
+                  "GCN adjacency must be square");
+    const std::string err = spmm->prepare(adjacency);
+    DTC_CHECK_MSG(err.empty(), spmm->name() << ": " << err);
+}
+
+void
+GcnModel::forward(const DenseMatrix& x, DenseMatrix& probs)
+{
+    layer1.forward(*spmm, x, h1);
+    layer2.forward(*spmm, h1, logits);
+    probs = logits;
+    softmaxRows(probs);
+}
+
+double
+GcnModel::trainStep(const DenseMatrix& x,
+                    const std::vector<int32_t>& labels,
+                    double* accuracy_out)
+{
+    DenseMatrix probs;
+    forward(x, probs);
+    if (accuracy_out)
+        *accuracy_out = accuracy(probs, labels);
+
+    if (gradLogits.rows() != probs.rows() ||
+        gradLogits.cols() != probs.cols())
+        gradLogits = DenseMatrix(probs.rows(), probs.cols());
+    const double loss = crossEntropy(probs, labels, &gradLogits);
+
+    layer2.backward(*spmm, gradLogits, gradH1);
+    layer1.backward(*spmm, gradH1, gradX);
+    layer1.step(config.learningRate);
+    layer2.step(config.learningRate);
+    return loss;
+}
+
+TrainStats
+GcnModel::train(const DenseMatrix& x,
+                const std::vector<int32_t>& labels)
+{
+    TrainStats stats;
+    stats.loss.reserve(static_cast<size_t>(config.epochs));
+    stats.accuracy.reserve(static_cast<size_t>(config.epochs));
+    for (int e = 0; e < config.epochs; ++e) {
+        double acc = 0.0;
+        stats.loss.push_back(trainStep(x, labels, &acc));
+        stats.accuracy.push_back(acc);
+    }
+    return stats;
+}
+
+void
+makeClassificationTask(const CsrMatrix& a, int64_t features,
+                       int64_t classes, uint64_t seed,
+                       DenseMatrix* x_out,
+                       std::vector<int32_t>* labels_out)
+{
+    DTC_CHECK(features >= classes);
+    Rng rng(seed);
+    const int64_t n = a.rows();
+
+    // Hidden class = contiguous stripe of node ids; features are
+    // noisy indicators of the class so the task is learnable.
+    std::vector<int32_t>& labels = *labels_out;
+    labels.resize(static_cast<size_t>(n));
+    const int64_t stripe = (n + classes - 1) / classes;
+    for (int64_t i = 0; i < n; ++i)
+        labels[i] = static_cast<int32_t>(i / stripe);
+
+    DenseMatrix& x = *x_out;
+    x = DenseMatrix(n, features);
+    x.fillRandom(rng, -0.1f, 0.1f);
+    for (int64_t i = 0; i < n; ++i)
+        x.at(i, labels[i]) += 1.0f;
+}
+
+} // namespace dtc

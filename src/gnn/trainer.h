@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Functional full-batch GCN trainer — the executable counterpart of
+ * the Fig. 16 estimate: a real 2-layer GCN trained end-to-end on a
+ * synthetic node-classification task, exercising the SpMM kernels
+ * inside forward and backward passes and verifying that training
+ * converges (loss decreases, accuracy rises) with TC numerics.
+ */
+#ifndef DTC_GNN_TRAINER_H
+#define DTC_GNN_TRAINER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gnn/gcn.h"
+#include "kernels/kernel.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace dtc {
+
+/** Trainer configuration. */
+struct TrainerConfig
+{
+    int64_t hidden = 32;
+    int64_t classes = 4;
+    int epochs = 30;
+    float learningRate = 0.05f;
+    uint64_t seed = 0x6cafe;
+};
+
+/** Per-epoch record of one training run. */
+struct TrainStats
+{
+    std::vector<double> loss;     ///< One entry per epoch.
+    std::vector<double> accuracy; ///< One entry per epoch.
+};
+
+/**
+ * A 2-layer GCN bound to one SpMM kernel and one adjacency matrix.
+ */
+class GcnModel
+{
+  public:
+    /**
+     * @param adjacency  square (symmetric) adjacency matrix
+     * @param kernel     SpMM implementation, not yet prepared
+     * @param features   node feature width
+     */
+    GcnModel(const CsrMatrix& adjacency,
+             std::unique_ptr<SpmmKernel> kernel, int64_t features,
+             const TrainerConfig& cfg);
+
+    /** Forward pass producing class probabilities. */
+    void forward(const DenseMatrix& x, DenseMatrix& probs);
+
+    /**
+     * One training step on (x, labels): forward, cross-entropy,
+     * backward, SGD.  Returns the loss; writes accuracy if non-null.
+     */
+    double trainStep(const DenseMatrix& x,
+                     const std::vector<int32_t>& labels,
+                     double* accuracy_out);
+
+    /** Trains for cfg.epochs epochs. */
+    TrainStats train(const DenseMatrix& x,
+                     const std::vector<int32_t>& labels);
+
+    const SpmmKernel& kernel() const { return *spmm; }
+
+  private:
+    std::unique_ptr<SpmmKernel> spmm;
+    TrainerConfig config;
+    Rng initRng; ///< Weight-init stream; must precede the layers.
+    GcnLayer layer1;
+    GcnLayer layer2;
+
+    // Scratch tensors reused across steps.
+    DenseMatrix h1, logits, gradLogits, gradH1, gradX;
+};
+
+/**
+ * Builds a learnable synthetic node-classification task on @p a:
+ * features correlate with a hidden class assignment derived from
+ * graph position, so a GCN can fit it.
+ */
+void makeClassificationTask(const CsrMatrix& a, int64_t features,
+                            int64_t classes, uint64_t seed,
+                            DenseMatrix* x_out,
+                            std::vector<int32_t>* labels_out);
+
+} // namespace dtc
+
+#endif // DTC_GNN_TRAINER_H

@@ -1,0 +1,48 @@
+#include "gpusim/arch.h"
+
+namespace dtc {
+
+ArchSpec
+ArchSpec::rtx4090()
+{
+    ArchSpec a;
+    a.name = "RTX4090";
+    a.numSms = 128;
+    a.clockGhz = 2.52;
+    a.l2Bytes = 72ll * 1024 * 1024;
+    a.l2Ways = 16;
+    a.occupancy = 6;
+    a.tcMacsPerCycle = 256.0;
+    a.fmaLanesPerCycle = 128.0;
+    a.intLanesPerCycle = 64.0;
+    a.lsuPerCycle = 4.0;
+    a.dramBwGBps = 1008.0;
+    a.l2BwGBps = 5200.0;
+    a.hmmaLatencyCycles = 16.0;
+    a.shflLatencyCycles = 10.7;
+    return a;
+}
+
+ArchSpec
+ArchSpec::rtx3090()
+{
+    ArchSpec a;
+    a.name = "RTX3090";
+    a.numSms = 82;
+    a.clockGhz = 1.70;
+    a.l2Bytes = 6ll * 1024 * 1024;
+    a.l2Ways = 16;
+    a.occupancy = 6;
+    // GA102 tensor cores run TF32 at half the Ada per-SM rate.
+    a.tcMacsPerCycle = 128.0;
+    a.fmaLanesPerCycle = 128.0;
+    a.intLanesPerCycle = 64.0;
+    a.lsuPerCycle = 4.0;
+    a.dramBwGBps = 936.0;
+    a.l2BwGBps = 2400.0;
+    a.hmmaLatencyCycles = 16.0;
+    a.shflLatencyCycles = 10.7;
+    return a;
+}
+
+} // namespace dtc

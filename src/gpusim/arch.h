@@ -1,0 +1,113 @@
+/**
+ * @file
+ * GPU architecture specifications for the execution-model simulator.
+ *
+ * This environment has no GPU, so the paper's RTX4090 (Ada Lovelace)
+ * and RTX3090 (Ampere) testbeds are substituted by parameterized
+ * models (DESIGN.md Section 2).  The parameters are public-whitepaper
+ * and paper-measured values: SM count, clocks, L2 capacity, DRAM
+ * bandwidth, tensor-core TF32 throughput, and the instruction
+ * latencies the paper microbenchmarks (HMMA 16.0 cycles, shfl 10.7).
+ */
+#ifndef DTC_GPUSIM_ARCH_H
+#define DTC_GPUSIM_ARCH_H
+
+#include <cstdint>
+#include <string>
+
+namespace dtc {
+
+/** Parameters of one simulated GPU. */
+struct ArchSpec
+{
+    std::string name;
+
+    int numSms = 128;       ///< Streaming multiprocessors.
+    double clockGhz = 2.52; ///< Boost clock.
+    int64_t l2Bytes = 72 * 1024 * 1024; ///< L2 capacity.
+    int l2Ways = 16;        ///< L2 associativity.
+    int sectorBytes = 32;   ///< Memory-access granularity (1 sector).
+
+    /**
+     * Concurrent thread blocks per SM for the SpMM kernels in this
+     * paper (occupancy; the paper measures 6 on RTX4090).
+     */
+    int occupancy = 6;
+
+    /** TF32 tensor-core MACs per cycle per SM. */
+    double tcMacsPerCycle = 256.0;
+
+    /** FP32 CUDA-core FMA lanes per SM. */
+    double fmaLanesPerCycle = 128.0;
+
+    /** INT32 ALU lanes per SM. */
+    double intLanesPerCycle = 64.0;
+
+    /** Load/store unit: warp-level memory instructions per cycle/SM. */
+    double lsuPerCycle = 4.0;
+
+    /** Device-memory bandwidth. */
+    double dramBwGBps = 1008.0;
+
+    /** Aggregate L2 bandwidth. */
+    double l2BwGBps = 5000.0;
+
+    /** Paper-measured instruction latencies (cycles). */
+    double hmmaLatencyCycles = 16.0;
+    double shflLatencyCycles = 10.7;
+
+    /** Effective cost of a global atomic (L2 read-modify-write). */
+    double atomicCycles = 8.0;
+
+    /** DRAM access latency (cycles), for exposed-stall modeling. */
+    double dramLatencyCycles = 600.0;
+
+    /**
+     * Host-side memory available for Flash-LLM's dense conversion
+     * staging.  Scaled ~50x down from a 256 GB workstation to match
+     * the dataset scaling (DESIGN.md): the Table-1 analogs that OOM'd
+     * in the paper still OOM here.
+     */
+    int64_t hostMemBytes = 4ll * 1024 * 1024 * 1024;
+
+    /** Device memory budget for format footprints (BELL OOM check). */
+    int64_t deviceMemBytes = 24ll * 1024 * 1024 * 1024;
+
+    /**
+     * MACs per "HMMA unit".  One unit is one warp-level
+     * mma.m16n8k4 (16*8*4 = 512 MACs), the instruction DTC-SpMM
+     * emits; all kernels report TC work in these units.
+     */
+    static constexpr double kMacsPerHmma = 16.0 * 8.0 * 4.0;
+
+    /** Cycles one SM needs to retire one HMMA unit (throughput). */
+    double
+    cyclesPerHmma() const
+    {
+        return kMacsPerHmma / tcMacsPerCycle;
+    }
+
+    /** DRAM bytes transferred per GPU cycle (whole device). */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramBwGBps / clockGhz;
+    }
+
+    /** L2 bytes served per GPU cycle (whole device). */
+    double
+    l2BytesPerCycle() const
+    {
+        return l2BwGBps / clockGhz;
+    }
+
+    /** The paper's RTX4090 (Ada Lovelace, CC 8.9) model. */
+    static ArchSpec rtx4090();
+
+    /** The paper's RTX3090 (Ampere, CC 8.6) model. */
+    static ArchSpec rtx3090();
+};
+
+} // namespace dtc
+
+#endif // DTC_GPUSIM_ARCH_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Kernel cost model: converts per-thread-block event counts into
+ * cycles, schedules the blocks, and derives the metrics the paper
+ * profiles with NCU (kernel time, TC pipeline utilization,
+ * #IMAD/#HMMA, L2 hit rate, per-SM busy/idle).
+ *
+ * Every kernel in kernels/ tallies a TbWork per thread block while
+ * traversing exactly the data structures the real CUDA kernel would
+ * walk; the CostModel then:
+ *   1. turns each TbWork into cycles using per-SM pipe throughputs
+ *      shared among `occupancy` resident blocks,
+ *   2. schedules blocks with the Eq. 1 policy model (scheduler.h),
+ *   3. reports makespan-derived wall time and aggregate counters.
+ *
+ * The pipeline-overlap knobs (execSerialFrac, memSerialFrac) are how
+ * kernels express their scheduling quality: a fully synchronous
+ * WMMA pipeline like TCGNN-SpMM serializes stages (frac -> 1), while
+ * DTC-SpMM's sparse double buffering and async copies overlap them
+ * (frac -> 0).
+ */
+#ifndef DTC_GPUSIM_COST_MODEL_H
+#define DTC_GPUSIM_COST_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "gpusim/scheduler.h"
+
+namespace dtc {
+
+/** Event counts of one thread block. */
+struct TbWork
+{
+    /** Warp-level mma.m16n8k4-equivalent tensor-core instructions. */
+    double hmma = 0.0;
+    /** Warp-level FP32 FMA instructions (CUDA cores). */
+    double fma = 0.0;
+    /** Warp-level integer (IMAD) instructions. */
+    double imad = 0.0;
+    /** Warp-level global-load instructions. */
+    double ldg = 0.0;
+    /** Warp-level shared-memory store / load instructions. */
+    double sts = 0.0;
+    double lds = 0.0;
+    /** Warp shuffles (latency-weighted separately). */
+    double shfl = 0.0;
+    /** Global atomic instructions. */
+    double atom = 0.0;
+    /** Barrier count. */
+    double syncs = 0.0;
+
+    /** Bytes served by the L2 (hits) and by DRAM (misses). */
+    double bytesL2Hit = 0.0;
+    double bytesDram = 0.0;
+
+    /**
+     * Serialization between the tensor-core pipe and the other exec
+     * pipes: 1 = fully serial stages (sync-heavy kernel), 0 = fully
+     * overlapped (dual-issue across pipes).
+     */
+    double execSerialFrac = 1.0;
+
+    /**
+     * Serialization between execution and memory time: 1 = exposed
+     * memory latency, 0 = perfectly hidden (prefetch/double buffer).
+     */
+    double memSerialFrac = 0.5;
+
+    /**
+     * Fraction of peak memory bandwidth the kernel's access pattern
+     * sustains (roofline derating): scalar dependent loads sit near
+     * 0.5-0.6, wide double-buffered vector pipelines near 0.9+.
+     */
+    double memEfficiency = 1.0;
+
+    /**
+     * Exposed memory-latency stalls (cycles).  CUDA-core SpMM on
+     * short rows issues few independent loads per warp, so DRAM
+     * latency cannot be hidden — the reason TC kernels with wide
+     * block fetches beat cuSPARSE even at equal traffic.  Kernels
+     * compute this as (#dependent accesses) * latency / MLP.
+     */
+    double stallCycles = 0.0;
+
+    /** Fixed prologue/epilogue cycles (launch, fences, drain). */
+    double fixedCycles = 600.0;
+
+    /** Accumulates another block's counters (used by fused TBs). */
+    void add(const TbWork& other);
+};
+
+/** Aggregate results of one simulated kernel launch. */
+struct LaunchResult
+{
+    std::string kernel;     ///< Kernel name.
+    bool supported = true;  ///< False when the baseline refuses input.
+    std::string unsupportedReason;
+
+    double timeMs = 0.0;
+    double makespanCycles = 0.0;
+    std::vector<double> smBusyCycles;
+
+    /** Fraction (percent) of SM tensor-pipe issue slots kept busy. */
+    double tcUtilPct = 0.0;
+
+    double totalHmma = 0.0;
+    double totalImad = 0.0;
+    double totalFma = 0.0;
+    double totalLdg = 0.0;
+    double totalSts = 0.0;
+
+    /** The paper's #IMAD/#HMMA indicator (inf-safe: 0 when no HMMA). */
+    double imadPerHmma = 0.0;
+
+    double l2HitRate = 0.0;
+    double dramBytes = 0.0;
+
+    /** Useful FLOPs of the SpMM (2 * NNZ * N). */
+    double flops = 0.0;
+
+    /** Achieved useful GFLOP/s. */
+    double gflops() const;
+
+    /** Makes an "unsupported" marker result. */
+    static LaunchResult unsupported(const std::string& kernel,
+                                    const std::string& reason);
+};
+
+/** Converts TbWork vectors into scheduled launch results. */
+class CostModel
+{
+  public:
+    explicit CostModel(ArchSpec arch) : archSpec(std::move(arch)) {}
+
+    const ArchSpec& arch() const { return archSpec; }
+
+    /**
+     * Cycles one thread block keeps its SM busy: exec pipes at the
+     * SM's full rates (SMs are modeled as serial block queues —
+     * occupancy interleaves blocks without adding issue slots) and
+     * memory at a 1/memShare bandwidth share.  @p memShare is the
+     * number of SMs splitting the memory system (launch() passes the
+     * number of *active* SMs; <= 0 means all SMs).
+     */
+    double tbCycles(const TbWork& w, double memShare = 0.0) const;
+
+    /**
+     * Schedules the blocks and aggregates metrics.
+     * @param kernel_name  reported kernel name
+     * @param tbs          per-thread-block work, launch order
+     * @param flops        useful FLOPs for GFLOP/s reporting
+     * @param l2_hit_rate  hit rate measured by the kernel's L2 stream
+     */
+    LaunchResult launch(const std::string& kernel_name,
+                        const std::vector<TbWork>& tbs, double flops,
+                        double l2_hit_rate) const;
+
+  private:
+    ArchSpec archSpec;
+};
+
+} // namespace dtc
+
+#endif // DTC_GPUSIM_COST_MODEL_H

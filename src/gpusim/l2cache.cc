@@ -1,0 +1,85 @@
+#include "gpusim/l2cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dtc {
+
+namespace {
+
+/** Largest power of two not exceeding @p v (v >= 1). */
+int64_t
+floorPow2(int64_t v)
+{
+    int64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+L2Cache::L2Cache(int64_t capacity_bytes, int ways, int64_t line_bytes)
+    : lineBytes(line_bytes), nWays(ways)
+{
+    DTC_CHECK(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
+    int64_t lines = std::max<int64_t>(ways, capacity_bytes / line_bytes);
+    nSets = std::max<int64_t>(1, floorPow2(lines / ways));
+    tags.assign(static_cast<size_t>(nSets) * nWays, kInvalid);
+    lastUse.assign(tags.size(), 0);
+}
+
+bool
+L2Cache::access(uint64_t addr)
+{
+    tick++;
+    const uint64_t line = addr / static_cast<uint64_t>(lineBytes);
+    const uint64_t set = line & static_cast<uint64_t>(nSets - 1);
+    const size_t base = static_cast<size_t>(set) * nWays;
+
+    int victim = 0;
+    uint64_t victim_use = ~0ull;
+    for (int w = 0; w < nWays; ++w) {
+        if (tags[base + w] == line) {
+            lastUse[base + w] = tick;
+            nHits++;
+            return true;
+        }
+        if (tags[base + w] == kInvalid) {
+            // Prefer filling an empty way; oldest possible use time.
+            if (victim_use != 0) {
+                victim = w;
+                victim_use = 0;
+            }
+        } else if (lastUse[base + w] < victim_use) {
+            victim = w;
+            victim_use = lastUse[base + w];
+        }
+    }
+    tags[base + victim] = line;
+    lastUse[base + victim] = tick;
+    nMisses++;
+    return false;
+}
+
+double
+L2Cache::hitRate() const
+{
+    const int64_t total = nHits + nMisses;
+    return total > 0 ? static_cast<double>(nHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+}
+
+void
+L2Cache::reset()
+{
+    std::fill(tags.begin(), tags.end(), kInvalid);
+    std::fill(lastUse.begin(), lastUse.end(), 0);
+    nHits = 0;
+    nMisses = 0;
+    tick = 0;
+}
+
+} // namespace dtc

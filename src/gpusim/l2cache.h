@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Set-associative LRU L2 cache model.
+ *
+ * The L2 is the GPU resource that DTC-SpMM's Cache-Aware reordering
+ * hierarchy targets (paper Section 4.3, Fig. 13c): concurrent thread
+ * blocks share it, so scheduling similar row windows near each other
+ * raises the hit rate on B-row fetches.  The model is a classic
+ * set-associative LRU cache; kernels feed it their B-row access
+ * streams in scheduled launch order.
+ *
+ * Addresses are abstract: kernels pass `row * lineBytes` so one line
+ * holds one B-row segment of N floats.  A fixed fraction of capacity
+ * is reserved for the streaming traffic (A-format arrays and C
+ * writeback) that flows through L2 without reuse.
+ */
+#ifndef DTC_GPUSIM_L2CACHE_H
+#define DTC_GPUSIM_L2CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dtc {
+
+/** A set-associative LRU cache with hit/miss accounting. */
+class L2Cache
+{
+  public:
+    /**
+     * @param capacity_bytes  usable capacity (already reduced for
+     *                        streaming pollution by the caller)
+     * @param ways            associativity
+     * @param line_bytes      bytes per line
+     */
+    L2Cache(int64_t capacity_bytes, int ways, int64_t line_bytes);
+
+    /** Accesses @p addr; returns true on hit.  Misses fill the line. */
+    bool access(uint64_t addr);
+
+    /** Convenience: access line index @p line directly. */
+    bool
+    accessLine(uint64_t line)
+    {
+        return access(line * static_cast<uint64_t>(lineBytes));
+    }
+
+    int64_t hits() const { return nHits; }
+    int64_t misses() const { return nMisses; }
+
+    /** Hit fraction over all accesses so far (0 if none). */
+    double hitRate() const;
+
+    /** Clears contents and statistics. */
+    void reset();
+
+    int64_t numSets() const { return nSets; }
+
+  private:
+    int64_t lineBytes;
+    int nWays;
+    int64_t nSets;
+    int64_t nHits = 0;
+    int64_t nMisses = 0;
+    uint64_t tick = 0;
+
+    /** tags[set*ways + way]; kInvalid = empty. */
+    std::vector<uint64_t> tags;
+    /** Last-use timestamp per way. */
+    std::vector<uint64_t> lastUse;
+
+    static constexpr uint64_t kInvalid = ~0ull;
+};
+
+} // namespace dtc
+
+#endif // DTC_GPUSIM_L2CACHE_H

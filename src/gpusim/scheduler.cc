@@ -1,0 +1,57 @@
+#include "gpusim/scheduler.h"
+
+#include <queue>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace dtc {
+
+int
+schedulerPolicySm(int64_t block_idx, int num_sms)
+{
+    DTC_CHECK(num_sms > 0);
+    if (num_sms % 2 != 0)
+        return static_cast<int>(block_idx % num_sms);
+    const int64_t half = num_sms / 2;
+    return static_cast<int>(2 * (block_idx % half) +
+                            (block_idx / half) % 2);
+}
+
+ScheduleResult
+scheduleThreadBlocks(const std::vector<double>& tb_cycles, int num_sms,
+                     int occupancy)
+{
+    DTC_CHECK(num_sms > 0 && occupancy > 0);
+
+    ScheduleResult res;
+    res.smBusyCycles.assign(static_cast<size_t>(num_sms), 0.0);
+    res.tbToSm.resize(tb_cycles.size());
+
+    // Slot = (freeTime, seq, sm).  seq breaks ties so the initial wave
+    // (all slots free at t=0) pops in Eq.1 policy order.
+    using Slot = std::tuple<double, int64_t, int>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> pq;
+    int64_t seq = 0;
+    for (int wave = 0; wave < occupancy; ++wave) {
+        for (int i = 0; i < num_sms; ++i) {
+            int sm = schedulerPolicySm(
+                static_cast<int64_t>(wave) * num_sms + i, num_sms);
+            pq.emplace(0.0, seq++, sm);
+        }
+    }
+
+    for (size_t b = 0; b < tb_cycles.size(); ++b) {
+        auto [free_at, s, sm] = pq.top();
+        pq.pop();
+        (void)s;
+        double end = free_at + tb_cycles[b];
+        res.tbToSm[b] = sm;
+        res.smBusyCycles[sm] += tb_cycles[b];
+        res.makespanCycles = std::max(res.makespanCycles, end);
+        pq.emplace(end, seq++, sm);
+    }
+    return res;
+}
+
+} // namespace dtc

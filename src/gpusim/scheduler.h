@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thread-block scheduler model (paper Section 4.5.2, Eq. 1).
+ *
+ * The paper models NVIDIA's proprietary TB scheduler with the
+ * acknowledged policy
+ *
+ *     sm_idx = 2 * (block_idx mod 64) + (block_idx / 64) mod 2
+ *
+ * for the 128-SM RTX4090: the first wave of numSms * occupancy blocks
+ * lands on SMs in that interleaved pattern, and afterwards each block
+ * is dispatched to the first SM slot that frees up.  This module
+ * implements exactly that, generalized to any even SM count, and is
+ * used both by the kernel cost model (per-SM busy/idle, Fig. 3 and
+ * Fig. 15) and by the Selector's makespan estimation.
+ */
+#ifndef DTC_GPUSIM_SCHEDULER_H
+#define DTC_GPUSIM_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dtc {
+
+/** Outcome of scheduling a kernel's thread blocks. */
+struct ScheduleResult
+{
+    /** Busy cycles accumulated by each SM. */
+    std::vector<double> smBusyCycles;
+
+    /** Finish time of the last thread block (kernel duration). */
+    double makespanCycles = 0.0;
+
+    /** SM each thread block ran on (same order as input). */
+    std::vector<int> tbToSm;
+};
+
+/**
+ * Maps a launch-order block index to an SM for the initial wave,
+ * implementing the paper's Eq. 1 generalized to @p num_sms.
+ */
+int schedulerPolicySm(int64_t block_idx, int num_sms);
+
+/**
+ * Schedules @p tb_cycles thread blocks (launch order) onto
+ * @p num_sms SMs with @p occupancy concurrent blocks per SM.
+ */
+ScheduleResult scheduleThreadBlocks(const std::vector<double>& tb_cycles,
+                                    int num_sms, int occupancy);
+
+} // namespace dtc
+
+#endif // DTC_GPUSIM_SCHEDULER_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * B-matrix traffic meter: routes a kernel's B-row access stream
+ * through the shared L2 model and splits each thread block's bytes
+ * into L2-hit and DRAM traffic.
+ *
+ * The cache line is one B-row segment (N floats): GPU SpMM kernels
+ * fetch whole row segments per nonzero/TC-block column, and the L2
+ * keeps or evicts them as units for our purposes.  25% of capacity is
+ * reserved for streaming traffic (format arrays, C writeback) that
+ * pollutes the L2 without reuse.
+ *
+ * Accesses are simulated in launch order to capture inter-block
+ * locality (the Cache-Aware reordering effect), but hits and misses
+ * are *apportioned* to thread blocks at the launch-wide rate: the
+ * real kernel runs blocks concurrently, so cold misses are shared by
+ * all resident blocks rather than billed to whichever block the
+ * sequential simulation touched first.  Kernels must call
+ * apportion() after metering all blocks.
+ */
+#ifndef DTC_KERNELS_B_TRAFFIC_H
+#define DTC_KERNELS_B_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/l2cache.h"
+
+namespace dtc {
+
+/** Meters B-row fetches of one simulated kernel launch. */
+class BTrafficMeter
+{
+  public:
+    BTrafficMeter(const ArchSpec& arch, int64_t n_cols)
+        : rowBytes(n_cols * 4),
+          cache(arch.l2Bytes * 3 / 4, arch.l2Ways, rowBytes)
+    {}
+
+    /**
+     * Fetches B row @p row for thread block @p tb_index (an index
+     * into the vector later passed to apportion()).
+     */
+    void
+    accessRow(int32_t row, size_t tb_index)
+    {
+        cache.accessLine(static_cast<uint64_t>(row));
+        if (pending.size() <= tb_index)
+            pending.resize(tb_index + 1, 0.0);
+        pending[tb_index] += static_cast<double>(rowBytes);
+    }
+
+    /**
+     * Splits each block's metered B bytes into L2-hit and DRAM
+     * traffic at the launch-wide hit rate.
+     */
+    void
+    apportion(std::vector<TbWork>& tbs)
+    {
+        const double rate = cache.hitRate();
+        for (size_t i = 0; i < pending.size() && i < tbs.size();
+             ++i) {
+            tbs[i].bytesL2Hit += pending[i] * rate;
+            tbs[i].bytesDram += pending[i] * (1.0 - rate);
+        }
+        pending.clear();
+    }
+
+    /** Hit rate of the stream so far. */
+    double hitRate() const { return cache.hitRate(); }
+
+  private:
+    int64_t rowBytes;
+    L2Cache cache;
+    std::vector<double> pending;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_B_TRAFFIC_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Block-SpMM baseline — cuSPARSE's Blocked-ELL tensor-core SpMM
+ * (paper Section 5.2, Fig. 12).
+ *
+ * The matrix is converted to BELL (formats/bell.h); every stored
+ * block is computed densely on tensor cores, padding included.  On
+ * the unstructured GNN/SC matrices of this paper the fill efficiency
+ * collapses, so Block-SpMM either wastes almost all its FLOPs or runs
+ * out of memory converting (both reproduced).
+ */
+#ifndef DTC_KERNELS_BLOCK_SPMM_H
+#define DTC_KERNELS_BLOCK_SPMM_H
+
+#include "formats/bell.h"
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The Block-SpMM (Blocked-ELL) baseline. */
+class BlockSpmmKernel : public SpmmKernel
+{
+  public:
+    explicit BlockSpmmKernel(int64_t block_size)
+        : blockSize(block_size)
+    {}
+
+    std::string name() const override;
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+    /** The BELL representation (for padding analysis). */
+    const BellMatrix& bell() const { return mat; }
+
+  private:
+    int64_t blockSize;
+    /** Structure-only BELL (values materialized only by compute()). */
+    BellMatrix mat;
+    /** Source matrix kept for on-demand value materialization. */
+    CsrMatrix src;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_BLOCK_SPMM_H

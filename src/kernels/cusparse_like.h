@@ -1,0 +1,39 @@
+/**
+ * @file
+ * cuSPARSE-style CSR SpMM baseline (CUDA cores).
+ *
+ * Models cusparseSpMM with CUSPARSE_SPMM_ALG_DEFAULT over
+ * CUSPARSE_FORMAT_CSR, the paper's primary baseline: thread blocks
+ * cover fixed-size row chunks, warps iterate nonzeros, each nonzero
+ * fetches one B-row segment with vectorized loads, accumulation in
+ * FP32 registers.  Load distribution follows rows, so heavily skewed
+ * row lengths produce the imbalance Observation 4 describes.
+ */
+#ifndef DTC_KERNELS_CUSPARSE_LIKE_H
+#define DTC_KERNELS_CUSPARSE_LIKE_H
+
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The cuSPARSE-SpMM baseline. */
+class CuSparseKernel : public SpmmKernel
+{
+  public:
+    /** Rows covered by one thread block. */
+    static constexpr int64_t kRowsPerTb = 64;
+
+    std::string name() const override { return "cuSPARSE-SpMM"; }
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+  private:
+    CsrMatrix mat;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_CUSPARSE_LIKE_H

@@ -1,0 +1,130 @@
+#include "kernels/flash_llm_like.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/tf32.h"
+#include "kernels/b_traffic.h"
+
+namespace dtc {
+
+std::string
+FlashLlmKernel::name() const
+{
+    std::ostringstream os;
+    os << "Flash-LLM(v" << ver << ")";
+    return os.str();
+}
+
+std::string
+FlashLlmKernel::prepare(const CsrMatrix& a)
+{
+    // Conversion stages the matrix uncompressed (dense) first.
+    const double dense_bytes = static_cast<double>(a.rows()) *
+                               static_cast<double>(a.cols()) * 4.0;
+    if (dense_bytes >
+        static_cast<double>(ArchSpec::rtx4090().hostMemBytes)) {
+        std::ostringstream os;
+        os << "OOM: dense staging needs "
+           << static_cast<int64_t>(dense_bytes / (1024 * 1024))
+           << " MiB";
+        return os.str();
+    }
+
+    mat = a;
+    const int64_t tile_rows = (a.rows() + kTile - 1) / kTile;
+    tiles.assign(static_cast<size_t>(tile_rows), {});
+    std::vector<int32_t> scratch;
+    for (int64_t tr = 0; tr < tile_rows; ++tr) {
+        const int64_t row_lo = tr * kTile;
+        const int64_t row_hi = std::min(row_lo + kTile, a.rows());
+        scratch.clear();
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k)
+                scratch.push_back(
+                    static_cast<int32_t>(a.colIdx()[k] / kTile));
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        tiles[static_cast<size_t>(tr)] = scratch;
+    }
+    ready = true;
+    return "";
+}
+
+void
+FlashLlmKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
+{
+    DTC_CHECK(ready);
+    DTC_CHECK(mat.cols() == b.rows());
+    DTC_CHECK(c.rows() == mat.rows() && c.cols() == b.cols());
+    // Load-as-Sparse-Compute-as-Dense: the dense MMA multiplies the
+    // expanded tile, so the arithmetic per nonzero is ordinary TF32
+    // ascending-column accumulation (zeros contribute nothing).
+    const int64_t n = b.cols();
+    c.setZero();
+    for (int64_t r = 0; r < mat.rows(); ++r) {
+        float* crow = c.row(r);
+        for (int64_t k = mat.rowPtr()[r]; k < mat.rowPtr()[r + 1]; ++k) {
+            const float v = tf32Round(mat.values()[k]);
+            const float* brow = b.row(mat.colIdx()[k]);
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += v * tf32Round(brow[j]);
+        }
+    }
+}
+
+LaunchResult
+FlashLlmKernel::cost(int64_t n, const CostModel& cm) const
+{
+    DTC_CHECK(ready);
+    const ArchSpec& arch = cm.arch();
+    BTrafficMeter meter(arch, n);
+    const double nd = static_cast<double>(n);
+    const double tile = static_cast<double>(kTile);
+
+    // One thread block per tile row; every nonempty tile costs a full
+    // dense 64x64xN MMA despite holding a handful of nonzeros.
+    std::vector<TbWork> tbs(tiles.size());
+    for (size_t tr = 0; tr < tiles.size(); ++tr) {
+        TbWork& tb = tbs[tr];
+        const double nt = static_cast<double>(tiles[tr].size());
+        for (int32_t tc : tiles[tr]) {
+            for (int64_t j = 0; j < kTile; ++j) {
+                const int64_t col =
+                    static_cast<int64_t>(tc) * kTile + j;
+                if (col < mat.cols())
+                    meter.accessRow(static_cast<int32_t>(col), tr);
+            }
+        }
+        tb.hmma = nt * tile * tile * nd / ArchSpec::kMacsPerHmma;
+        // Sparse loading is the point: A traffic is compressed.
+        const double e = nt > 0.0
+                             ? static_cast<double>(
+                                   mat.rowPtr()[std::min<int64_t>(
+                                       (tr + 1) * kTile, mat.rows())] -
+                                   mat.rowPtr()[tr * kTile])
+                             : 0.0;
+        tb.bytesDram += e * 6.0; // compressed tile payloads
+        tb.ldg = e / 64.0 + nt * tile * nd / 128.0;
+        // Extracting the sparse encoding into dense fragments.
+        tb.imad = e * 4.0 / 32.0 + nt * tile * nd / 128.0;
+        tb.sts = nt * tile * tile / 32.0;
+        tb.lds = tb.sts;
+        tb.syncs = 2.0 * nt;
+        tb.bytesDram += tile * nd * 4.0; // C writeback
+        // Double-buffered GEMM-style pipeline.
+        tb.execSerialFrac = ver >= 2 ? 0.25 : 0.35;
+        tb.memSerialFrac = ver >= 2 ? 0.20 : 0.30;
+        tb.memEfficiency = ver >= 2 ? 0.92 : 0.85;
+        tb.fixedCycles = ver >= 2 ? 1400.0 : 800.0;
+    }
+
+    meter.apportion(tbs);
+    const double flops = 2.0 * static_cast<double>(mat.nnz()) * nd;
+    return cm.launch(name(), tbs, flops, meter.hitRate());
+}
+
+} // namespace dtc

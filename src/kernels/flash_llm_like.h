@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Flash-LLM baseline (Xia et al., 2023) — Load-as-Sparse-
+ * Compute-as-Dense SpMM for unstructured weight sparsity (paper
+ * Section 5.2, Table 4).
+ *
+ * Flash-LLM tiles A into 64x64 tiles; tiles are *loaded* in a
+ * compressed form (reducing memory traffic) but *computed* densely on
+ * tensor cores, with double buffering on the dense B feed.  That
+ * trade is excellent at 60-90% sparsity and small weight matrices,
+ * and catastrophic at the >95% sparsity of GNN matrices, where nearly
+ * every tile is nonempty yet nearly empty — the dense FLOPs dwarf the
+ * useful work (Table 4: >8x slower than DTC on reddit/protein).
+ *
+ * Its format conversion stages the matrix *uncompressed* (dense) in
+ * host memory first, the OOM source Table 4 notes for YeastH-class
+ * matrices; reproduced against ArchSpec::hostMemBytes.
+ *
+ * v1/v2 differ in pipeline depth: v2's deeper software pipeline has
+ * higher fixed overhead per tile (slower on the tiny ddi) and
+ * slightly better bandwidth utilization.
+ */
+#ifndef DTC_KERNELS_FLASH_LLM_LIKE_H
+#define DTC_KERNELS_FLASH_LLM_LIKE_H
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The Flash-LLM baseline. */
+class FlashLlmKernel : public SpmmKernel
+{
+  public:
+    /** A-tile edge length. */
+    static constexpr int64_t kTile = 64;
+
+    explicit FlashLlmKernel(int version) : ver(version) {}
+
+    std::string name() const override;
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+    /** Nonempty 64x64 tiles per tile row (for tests). */
+    const std::vector<std::vector<int32_t>>& tileCols() const
+    {
+        return tiles;
+    }
+
+  private:
+    int ver;
+    CsrMatrix mat;
+    /** tiles[tileRow] = sorted nonempty tile-column indices. */
+    std::vector<std::vector<int32_t>> tiles;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_FLASH_LLM_LIKE_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Common interface of every SpMM kernel in the library.
+ *
+ * A kernel is a pair of behaviours over one prepared sparse matrix:
+ *   - compute(): the functional result C = A * B, bit-faithful to the
+ *     kernel's numerics (TF32 rounding for tensor-core kernels, FP32
+ *     for CUDA-core kernels);
+ *   - cost(): a simulated launch on a CostModel, tallying the same
+ *     events the real kernel's instruction stream would produce
+ *     (HMMA/IMAD/LDG counts, L2/DRAM traffic, pipeline overlap).
+ *
+ * prepare() performs the format conversion a real library would do
+ * once per matrix; it can refuse the input the way the corresponding
+ * baseline does (Block-SpMM OOM, SparTA dimension limit, Flash-LLM
+ * dense-staging OOM), returning a non-empty reason.
+ */
+#ifndef DTC_KERNELS_KERNEL_H
+#define DTC_KERNELS_KERNEL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gpusim/cost_model.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace dtc {
+
+/** Abstract SpMM kernel (see file comment). */
+class SpmmKernel
+{
+  public:
+    virtual ~SpmmKernel() = default;
+
+    /** Kernel display name, matching the paper's naming. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Converts @p a into the kernel's storage format.
+     * @return empty string on success, else the refusal reason
+     *         (e.g. "OOM", "Not Supported").
+     */
+    virtual std::string prepare(const CsrMatrix& a) = 0;
+
+    /** True once prepare() succeeded. */
+    virtual bool prepared() const = 0;
+
+    /** Functional SpMM: @p c = A * @p b.  @pre prepared(). */
+    virtual void compute(const DenseMatrix& b, DenseMatrix& c) const = 0;
+
+    /**
+     * Simulates one launch with dense width @p n on @p cm.
+     * @pre prepared().
+     */
+    virtual LaunchResult cost(int64_t n, const CostModel& cm) const = 0;
+};
+
+/** Identifiers for the factory in registry.h. */
+enum class KernelKind
+{
+    CuSparse,      ///< cuSPARSE CSR SpMM (CUDA cores).
+    Tcgnn,         ///< TCGNN-SpMM (TCF + WMMA).
+    Dtc,           ///< DTC-SpMM with Selector-chosen balancing.
+    DtcBase,       ///< DTC-SpMM, row-window thread blocks.
+    DtcBalanced,   ///< DTC-SpMM, strict-balance thread blocks.
+    Sputnik,       ///< Sputnik 1-D tiling (CUDA cores).
+    SparseTir,     ///< SparseTIR composable hybrid (CUDA cores).
+    BlockSpmm32,   ///< cuSPARSE Block-SpMM, BELL block size 32.
+    BlockSpmm64,   ///< cuSPARSE Block-SpMM, BELL block size 64.
+    VectorSparse4, ///< VectorSparse, CVSE vector length 4.
+    VectorSparse8, ///< VectorSparse, CVSE vector length 8.
+    FlashLlmV1,    ///< Flash-LLM v1 (Load-as-Sparse-Compute-as-Dense).
+    FlashLlmV2,    ///< Flash-LLM v2 (deeper pipeline variant).
+    SparTA,        ///< SparTA 2:4 + unstructured hybrid.
+};
+
+/** Display name of a kernel kind. */
+const char* kernelKindName(KernelKind kind);
+
+/** Creates a kernel instance. */
+std::unique_ptr<SpmmKernel> makeKernel(KernelKind kind);
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_KERNEL_H

@@ -1,0 +1,50 @@
+#include "kernels/reference.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/tf32.h"
+
+namespace dtc {
+
+void
+referenceSpmm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix& c)
+{
+    DTC_CHECK(a.cols() == b.rows());
+    DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    const int64_t n = b.cols();
+    std::vector<double> acc(static_cast<size_t>(n));
+    for (int64_t r = 0; r < a.rows(); ++r) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            const double v = a.values()[k];
+            const float* brow = b.row(a.colIdx()[k]);
+            for (int64_t j = 0; j < n; ++j)
+                acc[j] += v * static_cast<double>(brow[j]);
+        }
+        float* crow = c.row(r);
+        for (int64_t j = 0; j < n; ++j)
+            crow[j] = static_cast<float>(acc[j]);
+    }
+}
+
+void
+referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
+                  DenseMatrix& c)
+{
+    DTC_CHECK(a.cols() == b.rows());
+    DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    const int64_t n = b.cols();
+    c.setZero();
+    for (int64_t r = 0; r < a.rows(); ++r) {
+        float* crow = c.row(r);
+        for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            const float v = tf32Round(a.values()[k]);
+            const float* brow = b.row(a.colIdx()[k]);
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += v * tf32Round(brow[j]);
+        }
+    }
+}
+
+} // namespace dtc

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reference SpMM implementations — the correctness oracles.
+ *
+ * referenceSpmm accumulates in double precision (the "ground truth"
+ * all kernels are compared against); referenceSpmmTf32 applies TF32
+ * operand rounding with FP32 accumulation, the exact numerics of a
+ * tensor-core kernel, so TC kernels can be checked for bit-level
+ * agreement rather than tolerance.
+ */
+#ifndef DTC_KERNELS_REFERENCE_H
+#define DTC_KERNELS_REFERENCE_H
+
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+
+namespace dtc {
+
+/** C = A * B with double accumulation, rounded to float at the end. */
+void referenceSpmm(const CsrMatrix& a, const DenseMatrix& b,
+                   DenseMatrix& c);
+
+/** C = A * B with TF32 operand rounding and FP32 accumulation. */
+void referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
+                       DenseMatrix& c);
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_REFERENCE_H

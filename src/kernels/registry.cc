@@ -1,0 +1,95 @@
+#include "kernels/kernel.h"
+
+#include "common/check.h"
+#include "kernels/block_spmm.h"
+#include "kernels/cusparse_like.h"
+#include "kernels/dtc.h"
+#include "kernels/flash_llm_like.h"
+#include "kernels/sparsetir_like.h"
+#include "kernels/sparta_like.h"
+#include "kernels/sputnik_like.h"
+#include "kernels/tcgnn.h"
+#include "kernels/vector_sparse.h"
+
+namespace dtc {
+
+const char*
+kernelKindName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::CuSparse:
+        return "cuSPARSE-SpMM";
+      case KernelKind::Tcgnn:
+        return "TCGNN-SpMM";
+      case KernelKind::Dtc:
+        return "DTC-SpMM";
+      case KernelKind::DtcBase:
+        return "DTC-SpMM-base";
+      case KernelKind::DtcBalanced:
+        return "DTC-SpMM-balanced";
+      case KernelKind::Sputnik:
+        return "Sputnik";
+      case KernelKind::SparseTir:
+        return "SparseTIR";
+      case KernelKind::BlockSpmm32:
+        return "Block-SpMM(b=32)";
+      case KernelKind::BlockSpmm64:
+        return "Block-SpMM(b=64)";
+      case KernelKind::VectorSparse4:
+        return "VectorSparse(v=4)";
+      case KernelKind::VectorSparse8:
+        return "VectorSparse(v=8)";
+      case KernelKind::FlashLlmV1:
+        return "Flash-LLM(v1)";
+      case KernelKind::FlashLlmV2:
+        return "Flash-LLM(v2)";
+      case KernelKind::SparTA:
+        return "SparTA";
+    }
+    return "?";
+}
+
+std::unique_ptr<SpmmKernel>
+makeKernel(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::CuSparse:
+        return std::make_unique<CuSparseKernel>();
+      case KernelKind::Tcgnn:
+        return std::make_unique<TcgnnKernel>();
+      case KernelKind::Dtc:
+        return std::make_unique<DtcKernel>();
+      case KernelKind::DtcBase: {
+        DtcOptions o;
+        o.mode = DtcOptions::Mode::Base;
+        return std::make_unique<DtcKernel>(o);
+      }
+      case KernelKind::DtcBalanced: {
+        DtcOptions o;
+        o.mode = DtcOptions::Mode::Balanced;
+        return std::make_unique<DtcKernel>(o);
+      }
+      case KernelKind::Sputnik:
+        return std::make_unique<SputnikKernel>();
+      case KernelKind::SparseTir:
+        return std::make_unique<SparseTirKernel>();
+      case KernelKind::BlockSpmm32:
+        return std::make_unique<BlockSpmmKernel>(32);
+      case KernelKind::BlockSpmm64:
+        return std::make_unique<BlockSpmmKernel>(64);
+      case KernelKind::VectorSparse4:
+        return std::make_unique<VectorSparseKernel>(4);
+      case KernelKind::VectorSparse8:
+        return std::make_unique<VectorSparseKernel>(8);
+      case KernelKind::FlashLlmV1:
+        return std::make_unique<FlashLlmKernel>(1);
+      case KernelKind::FlashLlmV2:
+        return std::make_unique<FlashLlmKernel>(2);
+      case KernelKind::SparTA:
+        return std::make_unique<SpartaKernel>();
+    }
+    DTC_ASSERT(false);
+    return nullptr;
+}
+
+} // namespace dtc

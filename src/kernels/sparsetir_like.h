@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SparseTIR-style composable-format SpMM baseline (Ye et al.,
+ * ASPLOS'23; CUDA cores).
+ *
+ * SparseTIR's key idea for SpMM is format composition: rows are
+ * bucketed by length into ELL buckets whose row length is padded to
+ * the bucket's power-of-two width, and a tuned dense-regular kernel
+ * runs per bucket.  Uniform work inside a bucket gives near-perfect
+ * balance; the cost is the padding FLOPs and a kernel launch per
+ * bucket.
+ */
+#ifndef DTC_KERNELS_SPARSETIR_LIKE_H
+#define DTC_KERNELS_SPARSETIR_LIKE_H
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The SparseTIR baseline. */
+class SparseTirKernel : public SpmmKernel
+{
+  public:
+    /** Rows of one bucket handled per thread block. */
+    static constexpr int64_t kRowsPerTb = 32;
+
+    /**
+     * Rows longer than this are split into segments before
+     * bucketing (SparseTIR's composition handles hub rows with a
+     * separate split format rather than padding to their length).
+     */
+    static constexpr int64_t kMaxSegment = 512;
+
+    /** One padded-ELL work item: a row segment. */
+    struct Segment
+    {
+        int32_t row;
+        int64_t kLo; ///< First nonzero (CSR position).
+        int64_t kHi; ///< One past the last nonzero.
+    };
+
+    std::string name() const override { return "SparseTIR"; }
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+    /** Segments grouped by power-of-two padded length (for tests). */
+    const std::vector<std::vector<Segment>>& buckets() const
+    {
+        return segBuckets;
+    }
+
+  private:
+    CsrMatrix mat;
+    /** segBuckets[i] = segments with padded length 2^i. */
+    std::vector<std::vector<Segment>> segBuckets;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_SPARSETIR_LIKE_H

@@ -1,0 +1,174 @@
+#include "kernels/sparta_like.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/tf32.h"
+#include "kernels/b_traffic.h"
+
+namespace dtc {
+
+std::string
+SpartaKernel::prepare(const CsrMatrix& a)
+{
+    if (a.rows() > kDimLimit || a.cols() > kDimLimit)
+        return "Not Supported: dimensions exceed the cuSPARSELt limit";
+
+    mat = a;
+    nnz24 = 0;
+    occupiedGroups = 0;
+    // Per row, per aligned 4-column group, up to 2 nonzeros fit the
+    // 2:4 pattern; the rest spill into the unstructured remainder.
+    for (int64_t r = 0; r < a.rows(); ++r) {
+        int64_t k = a.rowPtr()[r];
+        const int64_t end = a.rowPtr()[r + 1];
+        while (k < end) {
+            const int32_t group = a.colIdx()[k] / 4;
+            int64_t in_group = 0;
+            while (k < end && a.colIdx()[k] / 4 == group) {
+                in_group++;
+                k++;
+            }
+            occupiedGroups++;
+            nnz24 += std::min<int64_t>(2, in_group);
+        }
+    }
+    ready = true;
+    return "";
+}
+
+void
+SpartaKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
+{
+    DTC_CHECK(ready);
+    DTC_CHECK(mat.cols() == b.rows());
+    DTC_CHECK(c.rows() == mat.rows() && c.cols() == b.cols());
+    // Both components accumulate per row in ascending-column order;
+    // the structured part runs on (sparse) tensor cores, so TF32
+    // rounding applies there, and the CUDA-core remainder is FP32.
+    // For functional purposes we apply the structured numerics to the
+    // first 2 nonzeros of each group, FP32 to the spill.
+    const int64_t n = b.cols();
+    c.setZero();
+    for (int64_t r = 0; r < mat.rows(); ++r) {
+        float* crow = c.row(r);
+        int64_t k = mat.rowPtr()[r];
+        const int64_t end = mat.rowPtr()[r + 1];
+        while (k < end) {
+            const int32_t group = mat.colIdx()[k] / 4;
+            int64_t pos = 0;
+            while (k < end && mat.colIdx()[k] / 4 == group) {
+                const bool structured = pos < 2;
+                const float v = structured
+                                    ? tf32Round(mat.values()[k])
+                                    : mat.values()[k];
+                const float* brow = b.row(mat.colIdx()[k]);
+                for (int64_t j = 0; j < n; ++j) {
+                    crow[j] += v * (structured ? tf32Round(brow[j])
+                                               : brow[j]);
+                }
+                pos++;
+                k++;
+            }
+        }
+    }
+}
+
+LaunchResult
+SpartaKernel::cost(int64_t n, const CostModel& cm) const
+{
+    DTC_CHECK(ready);
+    const ArchSpec& arch = cm.arch();
+    BTrafficMeter meter(arch, n);
+    const double nd = static_cast<double>(n);
+
+    // Structured pass: sparse tensor cores over the occupied 4-column
+    // groups (2:4 MMA does 2 real MACs per 4-wide group at the dense
+    // rate of 2) + CUDA-core remainder, row-chunk thread blocks.
+    constexpr int64_t rows_per_tb = 64;
+    const int64_t num_tbs =
+        (mat.rows() + rows_per_tb - 1) / rows_per_tb;
+    std::vector<TbWork> tbs(static_cast<size_t>(num_tbs));
+    for (int64_t tb_i = 0; tb_i < num_tbs; ++tb_i) {
+        const int64_t row_lo = tb_i * rows_per_tb;
+        const int64_t row_hi =
+            std::min(row_lo + rows_per_tb, mat.rows());
+        TbWork& w = tbs[static_cast<size_t>(tb_i)];
+
+        double groups = 0.0, spill = 0.0, e = 0.0;
+        for (int64_t r = row_lo; r < row_hi; ++r) {
+            int64_t k = mat.rowPtr()[r];
+            const int64_t end = mat.rowPtr()[r + 1];
+            while (k < end) {
+                const int32_t group = mat.colIdx()[k] / 4;
+                int64_t in_group = 0;
+                while (k < end && mat.colIdx()[k] / 4 == group) {
+                    // Spill nonzeros fetch B rows individually on
+                    // CUDA cores; the 2:4 component reads B tiled
+                    // like a GEMM (charged below).
+                    if (in_group >= 2) {
+                        meter.accessRow(mat.colIdx()[k],
+                                        static_cast<size_t>(tb_i));
+                    }
+                    in_group++;
+                    k++;
+                    e += 1.0;
+                }
+                groups += 1.0;
+                spill += static_cast<double>(
+                    std::max<int64_t>(0, in_group - 2));
+            }
+        }
+        // cuSPARSELt's structured pass streams B GEMM-style: every
+        // 128-row M-tile reads the full K x N slab once via shared
+        // memory, so B traffic is K*N*4 per two row chunks.
+        w.bytesL2Hit += static_cast<double>(mat.cols()) * nd * 4.0 *
+                        static_cast<double>(row_hi - row_lo) / 128.0;
+        // Sparse-TC MACs: each occupied group costs a 4-wide slab at
+        // the 2x sparse rate => 2 dense-equivalent MACs * N.
+        w.hmma = groups * 2.0 * nd / ArchSpec::kMacsPerHmma;
+        // Remainder on CUDA cores.
+        w.fma = spill * nd / 32.0;
+        w.ldg = e * (nd / 128.0) + 2.0 * e / 128.0;
+        w.imad = e * (nd / 128.0) + 2.0 * e / 32.0;
+        w.syncs = 2.0;
+        w.bytesDram += e * 10.0 +
+                       static_cast<double>(row_hi - row_lo) * nd * 4.0;
+        w.execSerialFrac = 0.5;
+        w.memSerialFrac = 0.15;
+        w.memEfficiency = 0.70;
+        w.fixedCycles = 700.0;
+    }
+
+    meter.apportion(tbs);
+
+    // cuSPARSELt tiles the dense dimension as cuSPARSE does; split
+    // each row-chunk block into N/32-column slabs.
+    const int64_t col_tbs = std::clamp<int64_t>(n / 32, 1, 8);
+    if (col_tbs > 1) {
+        std::vector<TbWork> split;
+        split.reserve(tbs.size() * static_cast<size_t>(col_tbs));
+        const double inv = 1.0 / static_cast<double>(col_tbs);
+        for (const TbWork& w : tbs) {
+            TbWork part = w;
+            part.hmma *= inv;
+            part.fma *= inv;
+            part.imad *= inv;
+            part.ldg *= inv;
+            part.sts *= inv;
+            part.lds *= inv;
+            part.atom *= inv;
+            part.bytesL2Hit *= inv;
+            part.bytesDram *= inv;
+            part.stallCycles *= inv;
+            for (int64_t c = 0; c < col_tbs; ++c)
+                split.push_back(part);
+        }
+        tbs = std::move(split);
+    }
+
+    const double flops = 2.0 * static_cast<double>(mat.nnz()) * nd;
+    return cm.launch(name(), tbs, flops, meter.hitRate());
+}
+
+} // namespace dtc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sputnik-style SpMM baseline (Gale et al., SC'20; CUDA cores).
+ *
+ * Sputnik's 1-Dimensional Tiling splits the nonzeros of each row into
+ * fixed-size 1-D tiles processed by independent warps, uses reverse
+ * offset memory alignment to enable vector loads on unaligned rows,
+ * and row-swizzles (sorts rows by length) so concurrently scheduled
+ * tiles have similar cost — markedly better load balance and load
+ * efficiency than plain row-split, which is why it is the strongest
+ * CUDA-core baseline in the paper (DTC geomean 1.46x over it).
+ *
+ * Sputnik computes indices in int32; matrices whose index space
+ * overflows int32 segfault in the real library and are refused here.
+ */
+#ifndef DTC_KERNELS_SPUTNIK_LIKE_H
+#define DTC_KERNELS_SPUTNIK_LIKE_H
+
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The Sputnik baseline. */
+class SputnikKernel : public SpmmKernel
+{
+  public:
+    /** Nonzeros per 1-D tile (one warp's strip). */
+    static constexpr int64_t kTileNnz = 32;
+
+    /** 1-D tiles per thread block. */
+    static constexpr int64_t kTilesPerTb = 4;
+
+    std::string name() const override { return "Sputnik"; }
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+  private:
+    CsrMatrix mat;
+    /** Rows sorted by descending length (row swizzle). */
+    std::vector<int32_t> swizzle;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_SPUTNIK_LIKE_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * TCGNN-SpMM baseline (Wang et al., USENIX ATC'23) — the
+ * state-of-the-art TC-based general SpMM the paper analyzes in
+ * Section 3 and improves upon.
+ *
+ * Behaviour reproduced (paper Section 2.3 and Observations 1-4):
+ *   - TCF storage (5 arrays, ~168% more memory than CSR);
+ *   - one thread block per row window; per TC block, the FetchSparse
+ *     stage re-scans the *entire* window edge list to find the
+ *     block's nonzeros (the quadratic coordinate-computation cost
+ *     behind the huge #IMAD/#HMMA ratios on long-row matrices);
+ *   - ScatterFetchDense stages B tiles through shared memory with
+ *     scalar LDG.32 + STS, then wmma::load_matrix_sync;
+ *   - C-level WMMA (m16n16k8 TF32) compute, fully synchronous
+ *     stages — no overlap, hence the <8% TC pipe utilization.
+ */
+#ifndef DTC_KERNELS_TCGNN_H
+#define DTC_KERNELS_TCGNN_H
+
+#include "formats/sgt.h"
+#include "formats/tcf.h"
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The TCGNN-SpMM baseline. */
+class TcgnnKernel : public SpmmKernel
+{
+  public:
+    std::string name() const override { return "TCGNN-SpMM"; }
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+    /** The TCF representation (exposed for Observation-1 analysis). */
+    const TcfMatrix& tcf() const { return format; }
+
+    /** Thread-ops per scanned edge in the quadratic FetchSparse. */
+    static constexpr double kScanOpsPerEdge = 11.0;
+
+    /** Thread-ops of coordinate math per fetched B element. */
+    static constexpr double kDenseFetchOpsPerElement = 12.0;
+
+  private:
+    TcfMatrix format;
+    SgtResult sgt;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_TCGNN_H

@@ -1,0 +1,112 @@
+#include "kernels/vector_sparse.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/tf32.h"
+#include "kernels/b_traffic.h"
+
+namespace dtc {
+
+std::string
+VectorSparseKernel::name() const
+{
+    std::ostringstream os;
+    os << "VectorSparse(v=" << vecLen << ")";
+    return os.str();
+}
+
+std::string
+VectorSparseKernel::prepare(const CsrMatrix& a)
+{
+    mat = CvseMatrix::build(a, vecLen);
+    ready = true;
+    return "";
+}
+
+void
+VectorSparseKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
+{
+    DTC_CHECK(ready);
+    DTC_CHECK(mat.cols() == b.rows());
+    DTC_CHECK(c.rows() == mat.rows() && c.cols() == b.cols());
+    const int64_t n = b.cols();
+    const int64_t v = mat.vecLen();
+    c.setZero();
+    // Vectors are stored per panel in ascending column order, so each
+    // output row accumulates in ascending-column order (TF32).
+    for (int64_t p = 0; p < mat.numPanels(); ++p) {
+        const int64_t row_lo = p * v;
+        for (int64_t s = mat.panelOffset()[p];
+             s < mat.panelOffset()[p + 1]; ++s) {
+            const int32_t col = mat.vecCol()[s];
+            const float* brow = b.row(col);
+            for (int64_t i = 0; i < v; ++i) {
+                const int64_t row = row_lo + i;
+                if (row >= mat.rows())
+                    break;
+                const float val = tf32Round(mat.values()[s * v + i]);
+                if (val == 0.0f)
+                    continue;
+                float* crow = c.row(row);
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += val * tf32Round(brow[j]);
+            }
+        }
+    }
+}
+
+LaunchResult
+VectorSparseKernel::cost(int64_t n, const CostModel& cm) const
+{
+    DTC_CHECK(ready);
+    const ArchSpec& arch = cm.arch();
+    BTrafficMeter meter(arch, n);
+    const double nd = static_cast<double>(n);
+    const double v = static_cast<double>(mat.vecLen());
+
+    // Panels are grouped so each thread block owns ~16/v panels
+    // (one 16-row MMA slab).
+    const int64_t panels_per_tb =
+        std::max<int64_t>(1, 16 / mat.vecLen());
+    std::vector<TbWork> tbs;
+    for (int64_t p0 = 0; p0 < mat.numPanels(); p0 += panels_per_tb) {
+        const int64_t p1 =
+            std::min(p0 + panels_per_tb, mat.numPanels());
+        TbWork tb;
+        double vectors = 0.0;
+        for (int64_t p = p0; p < p1; ++p) {
+            for (int64_t s = mat.panelOffset()[p];
+                 s < mat.panelOffset()[p + 1]; ++s) {
+                meter.accessRow(mat.vecCol()[s], tbs.size());
+                vectors += 1.0;
+            }
+        }
+        // Each vector contributes v*N MACs (padding included).
+        tb.hmma = vectors * v * nd / ArchSpec::kMacsPerHmma;
+        tb.ldg = vectors * (v / 128.0 + nd / 128.0 + 1.0 / 32.0);
+        // Gather/format bookkeeping per vector.
+        tb.imad = vectors * (3.0 / 32.0 + nd / 128.0);
+        tb.sts = vectors * v / 32.0;
+        tb.lds = tb.sts;
+        tb.syncs = 2.0;
+        tb.bytesDram += vectors * (v * 4.0 + 4.0);
+        tb.bytesDram += 16.0 * nd * 4.0; // C slab writeback
+        // Gathered vector loads sustain less bandwidth than DTC's
+        // block-wide fetches, and padding rides along in every
+        // transaction.
+        tb.stallCycles = vectors * 600.0 / 24.0;
+        tb.execSerialFrac = 0.5;
+        tb.memSerialFrac = 0.35;
+        tb.memEfficiency = 0.62;
+        tb.fixedCycles = 650.0;
+        tbs.push_back(tb);
+    }
+
+    meter.apportion(tbs);
+    const double flops = 2.0 * static_cast<double>(mat.nnz()) * nd;
+    return cm.launch(name(), tbs, flops, meter.hitRate());
+}
+
+} // namespace dtc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * VectorSparse baseline (Chen et al., SC'21) — 1-D column-vector
+ * sparsity on tensor cores (paper Section 5.2, Fig. 12).
+ *
+ * Uses CVSE (formats/cvse.h): row panels of height vecLen store one
+ * dense column vector per distinct nonzero column.  Vectors are
+ * gathered into tensor-core fragments in groups; padding inside the
+ * vectors (rows without that column) is computed as zeros.  Finer
+ * than BELL, but on unstructured matrices most vector slots are
+ * still padding.
+ */
+#ifndef DTC_KERNELS_VECTOR_SPARSE_H
+#define DTC_KERNELS_VECTOR_SPARSE_H
+
+#include "formats/cvse.h"
+#include "kernels/kernel.h"
+
+namespace dtc {
+
+/** The VectorSparse (CVSE) baseline. */
+class VectorSparseKernel : public SpmmKernel
+{
+  public:
+    explicit VectorSparseKernel(int64_t vec_len) : vecLen(vec_len) {}
+
+    std::string name() const override;
+    std::string prepare(const CsrMatrix& a) override;
+    bool prepared() const override { return ready; }
+    void compute(const DenseMatrix& b, DenseMatrix& c) const override;
+    LaunchResult cost(int64_t n, const CostModel& cm) const override;
+
+    /** The CVSE representation (for padding analysis). */
+    const CvseMatrix& cvse() const { return mat; }
+
+  private:
+    int64_t vecLen;
+    CvseMatrix mat;
+    bool ready = false;
+};
+
+} // namespace dtc
+
+#endif // DTC_KERNELS_VECTOR_SPARSE_H

@@ -1,0 +1,102 @@
+#include "matrix/coo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dtc {
+
+void
+CooMatrix::add(int32_t r, int32_t c, float v)
+{
+    DTC_CHECK_MSG(r >= 0 && r < nRows && c >= 0 && c < nCols,
+                  "entry (" << r << "," << c << ") outside " << nRows
+                            << "x" << nCols);
+    rowIdx.push_back(r);
+    colIdx.push_back(c);
+    vals.push_back(v);
+}
+
+void
+CooMatrix::reserve(size_t n)
+{
+    rowIdx.reserve(n);
+    colIdx.reserve(n);
+    vals.reserve(n);
+}
+
+void
+CooMatrix::canonicalize()
+{
+    const size_t n = rowIdx.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (rowIdx[a] != rowIdx[b])
+            return rowIdx[a] < rowIdx[b];
+        return colIdx[a] < colIdx[b];
+    });
+
+    std::vector<int32_t> r2, c2;
+    std::vector<float> v2;
+    r2.reserve(n);
+    c2.reserve(n);
+    v2.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+        size_t i = order[k];
+        if (!r2.empty() && r2.back() == rowIdx[i] &&
+            c2.back() == colIdx[i]) {
+            v2.back() += vals[i];
+        } else {
+            r2.push_back(rowIdx[i]);
+            c2.push_back(colIdx[i]);
+            v2.push_back(vals[i]);
+        }
+    }
+    rowIdx = std::move(r2);
+    colIdx = std::move(c2);
+    vals = std::move(v2);
+}
+
+void
+CooMatrix::symmetrize()
+{
+    DTC_CHECK_MSG(nRows == nCols, "symmetrize requires a square matrix");
+    const size_t n = rowIdx.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (rowIdx[i] != colIdx[i]) {
+            rowIdx.push_back(colIdx[i]);
+            colIdx.push_back(rowIdx[i]);
+            vals.push_back(vals[i]);
+        }
+    }
+    // Merge duplicates keeping max magnitude (adjacency convention).
+    std::vector<size_t> order(rowIdx.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (rowIdx[a] != rowIdx[b])
+            return rowIdx[a] < rowIdx[b];
+        return colIdx[a] < colIdx[b];
+    });
+    std::vector<int32_t> r2, c2;
+    std::vector<float> v2;
+    for (size_t k = 0; k < order.size(); ++k) {
+        size_t i = order[k];
+        if (!r2.empty() && r2.back() == rowIdx[i] &&
+            c2.back() == colIdx[i]) {
+            if (std::abs(vals[i]) > std::abs(v2.back()))
+                v2.back() = vals[i];
+        } else {
+            r2.push_back(rowIdx[i]);
+            c2.push_back(colIdx[i]);
+            v2.push_back(vals[i]);
+        }
+    }
+    rowIdx = std::move(r2);
+    colIdx = std::move(c2);
+    vals = std::move(v2);
+}
+
+} // namespace dtc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix.
+ *
+ * COO is the assembly format: dataset generators and the Matrix Market
+ * reader emit COO triplets, which are then canonicalized (sorted,
+ * duplicates merged) and converted to CSR for everything downstream.
+ */
+#ifndef DTC_MATRIX_COO_H
+#define DTC_MATRIX_COO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dtc {
+
+/** A sparse matrix in coordinate (triplet) format. */
+class CooMatrix
+{
+  public:
+    /** Creates an empty matrix of the given shape. */
+    CooMatrix(int64_t rows = 0, int64_t cols = 0)
+        : nRows(rows), nCols(cols)
+    {}
+
+    /** Appends one entry.  Duplicates are allowed until canonicalize(). */
+    void add(int32_t r, int32_t c, float v);
+
+    /** Reserves space for @p n entries. */
+    void reserve(size_t n);
+
+    int64_t rows() const { return nRows; }
+    int64_t cols() const { return nCols; }
+    int64_t nnz() const { return static_cast<int64_t>(rowIdx.size()); }
+
+    const std::vector<int32_t>& rowIndices() const { return rowIdx; }
+    const std::vector<int32_t>& colIndices() const { return colIdx; }
+    const std::vector<float>& values() const { return vals; }
+
+    /**
+     * Sorts entries by (row, col) and merges duplicates by summing
+     * their values.  Entries that sum to exactly zero are kept (their
+     * position is structurally nonzero).
+     */
+    void canonicalize();
+
+    /**
+     * Makes the pattern symmetric by adding the transpose of every
+     * off-diagonal entry (values mirrored).  Duplicates are merged by
+     * keeping the maximum magnitude, which is the convention used when
+     * symmetrizing adjacency matrices for GNNs.
+     */
+    void symmetrize();
+
+  private:
+    int64_t nRows;
+    int64_t nCols;
+    std::vector<int32_t> rowIdx;
+    std::vector<int32_t> colIdx;
+    std::vector<float> vals;
+};
+
+} // namespace dtc
+
+#endif // DTC_MATRIX_COO_H

@@ -1,0 +1,176 @@
+#include "matrix/csr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "matrix/coo.h"
+
+namespace dtc {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols)
+    : nRows(rows), nCols(cols), rowPtrArr(static_cast<size_t>(rows) + 1, 0)
+{
+    DTC_CHECK(rows >= 0 && cols >= 0);
+}
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix& coo)
+{
+    CooMatrix canon = coo;
+    canon.canonicalize();
+
+    CsrMatrix m(canon.rows(), canon.cols());
+    const auto& ri = canon.rowIndices();
+    const auto& ci = canon.colIndices();
+    const auto& v = canon.values();
+
+    for (int32_t r : ri)
+        m.rowPtrArr[static_cast<size_t>(r) + 1]++;
+    for (size_t i = 1; i < m.rowPtrArr.size(); ++i)
+        m.rowPtrArr[i] += m.rowPtrArr[i - 1];
+
+    m.colIdxArr.assign(ci.begin(), ci.end());
+    m.valArr.assign(v.begin(), v.end());
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::fromParts(int64_t rows, int64_t cols,
+                     std::vector<int64_t> row_ptr,
+                     std::vector<int32_t> col_idx, std::vector<float> values)
+{
+    CsrMatrix m;
+    m.nRows = rows;
+    m.nCols = cols;
+    m.rowPtrArr = std::move(row_ptr);
+    m.colIdxArr = std::move(col_idx);
+    m.valArr = std::move(values);
+    m.validate();
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::transposed() const
+{
+    CsrMatrix t(nCols, nRows);
+    t.colIdxArr.resize(colIdxArr.size());
+    t.valArr.resize(valArr.size());
+
+    // Count entries per column, then prefix-sum.
+    for (int32_t c : colIdxArr)
+        t.rowPtrArr[static_cast<size_t>(c) + 1]++;
+    for (size_t i = 1; i < t.rowPtrArr.size(); ++i)
+        t.rowPtrArr[i] += t.rowPtrArr[i - 1];
+
+    std::vector<int64_t> cursor(t.rowPtrArr.begin(), t.rowPtrArr.end() - 1);
+    for (int64_t r = 0; r < nRows; ++r) {
+        for (int64_t k = rowPtrArr[r]; k < rowPtrArr[r + 1]; ++k) {
+            int32_t c = colIdxArr[k];
+            int64_t pos = cursor[c]++;
+            t.colIdxArr[pos] = static_cast<int32_t>(r);
+            t.valArr[pos] = valArr[k];
+        }
+    }
+    // Rows of the source are visited in increasing order, so column
+    // indices in each transposed row are already sorted.
+    return t;
+}
+
+CsrMatrix
+CsrMatrix::permuteRows(const std::vector<int32_t>& perm) const
+{
+    DTC_CHECK(static_cast<int64_t>(perm.size()) == nRows);
+    CsrMatrix out(nRows, nCols);
+    out.colIdxArr.reserve(colIdxArr.size());
+    out.valArr.reserve(valArr.size());
+    for (int64_t r = 0; r < nRows; ++r) {
+        int32_t src = perm[r];
+        DTC_CHECK(src >= 0 && src < nRows);
+        for (int64_t k = rowPtrArr[src]; k < rowPtrArr[src + 1]; ++k) {
+            out.colIdxArr.push_back(colIdxArr[k]);
+            out.valArr.push_back(valArr[k]);
+        }
+        out.rowPtrArr[r + 1] = static_cast<int64_t>(out.colIdxArr.size());
+    }
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::permuteSymmetric(const std::vector<int32_t>& perm) const
+{
+    DTC_CHECK_MSG(nRows == nCols,
+                  "symmetric permutation requires a square matrix");
+    DTC_CHECK(static_cast<int64_t>(perm.size()) == nRows);
+
+    // inv[old] = new position.
+    std::vector<int32_t> inv(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        inv[perm[i]] = static_cast<int32_t>(i);
+
+    CsrMatrix out(nRows, nCols);
+    out.colIdxArr.reserve(colIdxArr.size());
+    out.valArr.reserve(valArr.size());
+    std::vector<std::pair<int32_t, float>> row_buf;
+    for (int64_t r = 0; r < nRows; ++r) {
+        int32_t src = perm[r];
+        row_buf.clear();
+        for (int64_t k = rowPtrArr[src]; k < rowPtrArr[src + 1]; ++k)
+            row_buf.emplace_back(inv[colIdxArr[k]], valArr[k]);
+        std::sort(row_buf.begin(), row_buf.end());
+        for (const auto& [c, v] : row_buf) {
+            out.colIdxArr.push_back(c);
+            out.valArr.push_back(v);
+        }
+        out.rowPtrArr[r + 1] = static_cast<int64_t>(out.colIdxArr.size());
+    }
+    return out;
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(nRows, nCols);
+    coo.reserve(static_cast<size_t>(nnz()));
+    for (int64_t r = 0; r < nRows; ++r)
+        for (int64_t k = rowPtrArr[r]; k < rowPtrArr[r + 1]; ++k)
+            coo.add(static_cast<int32_t>(r), colIdxArr[k], valArr[k]);
+    return coo;
+}
+
+std::vector<float>
+CsrMatrix::toDense() const
+{
+    std::vector<float> d(static_cast<size_t>(nRows * nCols), 0.0f);
+    for (int64_t r = 0; r < nRows; ++r)
+        for (int64_t k = rowPtrArr[r]; k < rowPtrArr[r + 1]; ++k)
+            d[static_cast<size_t>(r * nCols + colIdxArr[k])] = valArr[k];
+    return d;
+}
+
+bool
+CsrMatrix::operator==(const CsrMatrix& other) const
+{
+    return nRows == other.nRows && nCols == other.nCols &&
+           rowPtrArr == other.rowPtrArr && colIdxArr == other.colIdxArr &&
+           valArr == other.valArr;
+}
+
+void
+CsrMatrix::validate() const
+{
+    DTC_ASSERT(static_cast<int64_t>(rowPtrArr.size()) == nRows + 1);
+    DTC_ASSERT(rowPtrArr.front() == 0);
+    DTC_ASSERT(rowPtrArr.back() ==
+               static_cast<int64_t>(colIdxArr.size()));
+    DTC_ASSERT(colIdxArr.size() == valArr.size());
+    for (int64_t r = 0; r < nRows; ++r) {
+        DTC_ASSERT(rowPtrArr[r] <= rowPtrArr[r + 1]);
+        for (int64_t k = rowPtrArr[r]; k < rowPtrArr[r + 1]; ++k) {
+            DTC_ASSERT(colIdxArr[k] >= 0 && colIdxArr[k] < nCols);
+            if (k > rowPtrArr[r])
+                DTC_ASSERT(colIdxArr[k - 1] < colIdxArr[k]);
+        }
+    }
+}
+
+} // namespace dtc

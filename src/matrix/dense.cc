@@ -1,0 +1,73 @@
+#include "matrix/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dtc {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : nRows(rows), nCols(cols), buf(static_cast<size_t>(rows * cols), 0.0f)
+{
+    DTC_CHECK(rows >= 0 && cols >= 0);
+}
+
+void
+DenseMatrix::setZero()
+{
+    std::fill(buf.begin(), buf.end(), 0.0f);
+}
+
+void
+DenseMatrix::fill(float v)
+{
+    std::fill(buf.begin(), buf.end(), v);
+}
+
+void
+DenseMatrix::fillRandom(Rng& rng, float lo, float hi)
+{
+    for (float& x : buf)
+        x = rng.nextFloat(lo, hi);
+}
+
+double
+DenseMatrix::maxAbsDiff(const DenseMatrix& other) const
+{
+    DTC_CHECK(nRows == other.nRows && nCols == other.nCols);
+    double m = 0.0;
+    for (size_t i = 0; i < buf.size(); ++i)
+        m = std::max(m, std::abs(static_cast<double>(buf[i]) -
+                                 static_cast<double>(other.buf[i])));
+    return m;
+}
+
+double
+DenseMatrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (float x : buf)
+        s += static_cast<double>(x) * static_cast<double>(x);
+    return std::sqrt(s);
+}
+
+DenseMatrix
+DenseMatrix::transposed() const
+{
+    DenseMatrix t(nCols, nRows);
+    for (int64_t r = 0; r < nRows; ++r)
+        for (int64_t c = 0; c < nCols; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+bool
+DenseMatrix::operator==(const DenseMatrix& other) const
+{
+    return nRows == other.nRows && nCols == other.nCols &&
+           buf == other.buf;
+}
+
+} // namespace dtc

@@ -1,0 +1,112 @@
+#include "matrix/mm_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dtc {
+
+namespace {
+
+/** Lowercases a token in place and returns it. */
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(std::istream& in)
+{
+    std::string line;
+    DTC_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+
+    std::istringstream header(line);
+    std::string banner, object, fmt, field, symmetry;
+    header >> banner >> object >> fmt >> field >> symmetry;
+    DTC_CHECK_MSG(banner == "%%MatrixMarket",
+                  "missing %%MatrixMarket banner");
+    DTC_CHECK_MSG(lower(object) == "matrix", "unsupported object");
+    DTC_CHECK_MSG(lower(fmt) == "coordinate",
+                  "only coordinate format is supported");
+    field = lower(field);
+    symmetry = lower(symmetry);
+    DTC_CHECK_MSG(field == "real" || field == "integer" ||
+                      field == "pattern",
+                  "unsupported field type: " << field);
+    DTC_CHECK_MSG(symmetry == "general" || symmetry == "symmetric",
+                  "unsupported symmetry: " << symmetry);
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream dims(line);
+    int64_t rows = 0, cols = 0, entries = 0;
+    dims >> rows >> cols >> entries;
+    DTC_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+                  "bad size line: " << line);
+
+    CooMatrix m(rows, cols);
+    m.reserve(static_cast<size_t>(entries) *
+              (symmetry == "symmetric" ? 2 : 1));
+    for (int64_t i = 0; i < entries; ++i) {
+        DTC_CHECK_MSG(std::getline(in, line),
+                      "truncated file at entry " << i);
+        std::istringstream es(line);
+        int64_t r = 0, c = 0;
+        double v = 1.0;
+        es >> r >> c;
+        if (field != "pattern")
+            es >> v;
+        DTC_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                      "entry out of range: " << line);
+        m.add(static_cast<int32_t>(r - 1), static_cast<int32_t>(c - 1),
+              static_cast<float>(v));
+        if (symmetry == "symmetric" && r != c) {
+            m.add(static_cast<int32_t>(c - 1),
+                  static_cast<int32_t>(r - 1), static_cast<float>(v));
+        }
+    }
+    m.canonicalize();
+    return m;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string& path)
+{
+    std::ifstream f(path);
+    DTC_CHECK_MSG(f.good(), "cannot open " << path);
+    return readMatrixMarket(f);
+}
+
+void
+writeMatrixMarket(std::ostream& out, const CooMatrix& m)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    const auto& r = m.rowIndices();
+    const auto& c = m.colIndices();
+    const auto& v = m.values();
+    for (int64_t i = 0; i < m.nnz(); ++i) {
+        out << (r[i] + 1) << " " << (c[i] + 1) << " " << v[i] << "\n";
+    }
+}
+
+void
+writeMatrixMarketFile(const std::string& path, const CooMatrix& m)
+{
+    std::ofstream f(path);
+    DTC_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+    writeMatrixMarket(f, m);
+}
+
+} // namespace dtc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Matrix Market (.mtx) coordinate-format I/O.
+ *
+ * Supports the subset of the format that covers SuiteSparse matrices:
+ * `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+ * Pattern entries get value 1.0; symmetric files are expanded to both
+ * triangles on read.
+ */
+#ifndef DTC_MATRIX_MM_IO_H
+#define DTC_MATRIX_MM_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.h"
+
+namespace dtc {
+
+/** Reads a Matrix Market coordinate file from a stream. */
+CooMatrix readMatrixMarket(std::istream& in);
+
+/** Reads a Matrix Market coordinate file from disk. */
+CooMatrix readMatrixMarketFile(const std::string& path);
+
+/** Writes a COO matrix as `matrix coordinate real general`. */
+void writeMatrixMarket(std::ostream& out, const CooMatrix& m);
+
+/** Writes a COO matrix to disk. */
+void writeMatrixMarketFile(const std::string& path, const CooMatrix& m);
+
+} // namespace dtc
+
+#endif // DTC_MATRIX_MM_IO_H

@@ -1,0 +1,57 @@
+#include "matrix/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+std::string
+MatrixStats::toString() const
+{
+    std::ostringstream os;
+    os << rows << "x" << cols << " nnz=" << nnz
+       << " avgRowL=" << avgRowLength << " maxRowL=" << maxRowLength
+       << " cv=" << rowLengthCv;
+    return os.str();
+}
+
+MatrixStats
+computeStats(const CsrMatrix& m)
+{
+    MatrixStats s;
+    s.rows = m.rows();
+    s.cols = m.cols();
+    s.nnz = m.nnz();
+    if (s.rows == 0)
+        return s;
+
+    s.minRowLength = std::numeric_limits<int64_t>::max();
+    double sum = 0.0, sum_sq = 0.0;
+    for (int64_t r = 0; r < s.rows; ++r) {
+        int64_t len = m.rowLength(r);
+        if (len == 0)
+            s.emptyRows++;
+        s.maxRowLength = std::max(s.maxRowLength, len);
+        s.minRowLength = std::min(s.minRowLength, len);
+        sum += static_cast<double>(len);
+        sum_sq += static_cast<double>(len) * static_cast<double>(len);
+    }
+    s.avgRowLength = sum / static_cast<double>(s.rows);
+    double var = sum_sq / static_cast<double>(s.rows) -
+                 s.avgRowLength * s.avgRowLength;
+    if (var < 0.0)
+        var = 0.0;
+    s.rowLengthCv =
+        s.avgRowLength > 0.0 ? std::sqrt(var) / s.avgRowLength : 0.0;
+    s.density = s.rows * s.cols > 0
+                    ? static_cast<double>(s.nnz) /
+                          (static_cast<double>(s.rows) *
+                           static_cast<double>(s.cols))
+                    : 0.0;
+    return s;
+}
+
+} // namespace dtc

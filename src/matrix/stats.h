@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structural statistics of a sparse matrix.
+ *
+ * These are the quantities the paper's analysis sections report:
+ * M, K, NNZ, average row length (AvgRowL, Table 1), the row-length
+ * skew that drives load imbalance (Observation 4), and density.
+ */
+#ifndef DTC_MATRIX_STATS_H
+#define DTC_MATRIX_STATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dtc {
+
+class CsrMatrix;
+
+/** Summary statistics of a sparse matrix's structure. */
+struct MatrixStats
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t nnz = 0;
+    double avgRowLength = 0.0;
+    int64_t maxRowLength = 0;
+    int64_t minRowLength = 0;
+    int64_t emptyRows = 0;
+    /** Coefficient of variation of row lengths (stddev / mean). */
+    double rowLengthCv = 0.0;
+    /** Fraction of positions that are nonzero. */
+    double density = 0.0;
+
+    /** One-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Computes structural statistics of @p m. */
+MatrixStats computeStats(const CsrMatrix& m);
+
+} // namespace dtc
+
+#endif // DTC_MATRIX_STATS_H

@@ -1,0 +1,261 @@
+#include "reorder/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dtc {
+
+namespace {
+
+/** Adjacency in flat arrays with edge weights. */
+struct Graph
+{
+    std::vector<int64_t> offset;
+    std::vector<int32_t> adj;
+    std::vector<double> weight;
+    /** Self-loop weight per node (aggregated internal edges). */
+    std::vector<double> selfLoop;
+    double totalWeight = 0.0; // 2m (both directions + self loops)
+
+    int64_t nodes() const
+    {
+        return static_cast<int64_t>(offset.size()) - 1;
+    }
+};
+
+/** Builds the symmetrized unweighted graph of a CSR pattern. */
+Graph
+buildGraph(const CsrMatrix& m)
+{
+    const int64_t n = m.rows();
+    // Count degree of the symmetrized pattern (dedup handled by
+    // aggregating duplicate edge weights; harmless for modularity).
+    std::vector<int64_t> deg(static_cast<size_t>(n), 0);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+            const int32_t c = m.colIdx()[k];
+            if (c == r)
+                continue;
+            deg[r]++;
+            deg[c]++;
+        }
+    }
+    Graph g;
+    g.offset.resize(static_cast<size_t>(n) + 1, 0);
+    for (int64_t i = 0; i < n; ++i)
+        g.offset[i + 1] = g.offset[i] + deg[i];
+    g.adj.resize(static_cast<size_t>(g.offset[n]));
+    g.weight.assign(g.adj.size(), 1.0);
+    g.selfLoop.assign(static_cast<size_t>(n), 0.0);
+
+    std::vector<int64_t> cursor(g.offset.begin(), g.offset.end() - 1);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+            const int32_t c = m.colIdx()[k];
+            if (c == r) {
+                g.selfLoop[r] += 1.0;
+                continue;
+            }
+            g.adj[cursor[r]++] = c;
+            g.adj[cursor[c]++] = static_cast<int32_t>(r);
+        }
+    }
+    for (int64_t i = 0; i < n; ++i)
+        g.totalWeight += g.selfLoop[i];
+    g.totalWeight += static_cast<double>(g.adj.size());
+    return g;
+}
+
+/** One level of local moving; returns community of each node. */
+std::vector<int32_t>
+localMoving(const Graph& g, const LouvainParams& p, Rng& rng,
+            double* modularity_out)
+{
+    const int64_t n = g.nodes();
+    std::vector<int32_t> comm(static_cast<size_t>(n));
+    std::iota(comm.begin(), comm.end(), 0);
+
+    // Weighted degree per node and total per community.
+    std::vector<double> wdeg(static_cast<size_t>(n), 0.0);
+    for (int64_t u = 0; u < n; ++u) {
+        wdeg[u] = g.selfLoop[u];
+        for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k)
+            wdeg[u] += g.weight[k];
+    }
+    std::vector<double> comm_tot(wdeg);
+
+    const double two_m = std::max(g.totalWeight, 1.0);
+    std::vector<int32_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::unordered_map<int32_t, double> nbr_weight;
+    for (int pass = 0; pass < p.maxPassesPerLevel; ++pass) {
+        int64_t moves = 0;
+        for (int32_t u : order) {
+            const int32_t cu = comm[u];
+            nbr_weight.clear();
+            for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k)
+                nbr_weight[comm[g.adj[k]]] += g.weight[k];
+
+            // Remove u from its community.
+            comm_tot[cu] -= wdeg[u];
+            const double w_cu = nbr_weight.count(cu)
+                                    ? nbr_weight[cu]
+                                    : 0.0;
+
+            int32_t best = cu;
+            double best_gain = w_cu - comm_tot[cu] * wdeg[u] / two_m;
+            for (const auto& [c, w] : nbr_weight) {
+                if (c == cu)
+                    continue;
+                const double gain =
+                    w - comm_tot[c] * wdeg[u] / two_m;
+                if (gain > best_gain + p.minGain) {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+            comm_tot[best] += wdeg[u];
+            if (best != cu) {
+                comm[u] = best;
+                moves++;
+            }
+        }
+        if (moves == 0)
+            break;
+    }
+
+    if (modularity_out) {
+        // Q = sum_c (in_c / 2m - (tot_c / 2m)^2).
+        std::unordered_map<int32_t, double> in_c, tot_c;
+        for (int64_t u = 0; u < n; ++u) {
+            tot_c[comm[u]] += wdeg[u];
+            in_c[comm[u]] += g.selfLoop[u];
+            for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k)
+                if (comm[g.adj[k]] == comm[u])
+                    in_c[comm[u]] += g.weight[k];
+        }
+        double q = 0.0;
+        for (const auto& [c, tot] : tot_c) {
+            q += in_c[c] / two_m - (tot / two_m) * (tot / two_m);
+        }
+        *modularity_out = q;
+    }
+    return comm;
+}
+
+/** Aggregates communities into a coarser graph. */
+Graph
+aggregate(const Graph& g, const std::vector<int32_t>& comm,
+          std::vector<int32_t>* renumber_out)
+{
+    const int64_t n = g.nodes();
+    std::vector<int32_t> renumber(static_cast<size_t>(n), -1);
+    int32_t next = 0;
+    for (int64_t u = 0; u < n; ++u) {
+        if (renumber[comm[u]] < 0)
+            renumber[comm[u]] = next++;
+    }
+    std::vector<int32_t> node_comm(static_cast<size_t>(n));
+    for (int64_t u = 0; u < n; ++u)
+        node_comm[u] = renumber[comm[u]];
+
+    std::vector<std::unordered_map<int32_t, double>> edges(
+        static_cast<size_t>(next));
+    std::vector<double> self(static_cast<size_t>(next), 0.0);
+    for (int64_t u = 0; u < n; ++u) {
+        const int32_t cu = node_comm[u];
+        self[cu] += g.selfLoop[u];
+        for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k) {
+            const int32_t cv = node_comm[g.adj[k]];
+            if (cv == cu)
+                self[cu] += g.weight[k];
+            else
+                edges[cu][cv] += g.weight[k];
+        }
+    }
+
+    Graph out;
+    out.offset.resize(static_cast<size_t>(next) + 1, 0);
+    for (int32_t c = 0; c < next; ++c)
+        out.offset[c + 1] =
+            out.offset[c] + static_cast<int64_t>(edges[c].size());
+    out.adj.resize(static_cast<size_t>(out.offset[next]));
+    out.weight.resize(out.adj.size());
+    out.selfLoop = self;
+    for (int32_t c = 0; c < next; ++c) {
+        int64_t k = out.offset[c];
+        for (const auto& [v, w] : edges[c]) {
+            out.adj[k] = v;
+            out.weight[k] = w;
+            k++;
+        }
+    }
+    for (double s : out.selfLoop)
+        out.totalWeight += s;
+    for (double w : out.weight)
+        out.totalWeight += w;
+    *renumber_out = node_comm;
+    return out;
+}
+
+} // namespace
+
+LouvainResult
+louvainReorder(const CsrMatrix& m, const LouvainParams& params)
+{
+    DTC_CHECK_MSG(m.rows() == m.cols(),
+                  "Louvain needs a square (graph) matrix");
+    const int64_t n = m.rows();
+    LouvainResult res;
+    res.community.assign(static_cast<size_t>(n), 0);
+    std::iota(res.community.begin(), res.community.end(), 0);
+    if (n == 0)
+        return res;
+
+    Rng rng(params.seed);
+    Graph g = buildGraph(m);
+    // node_map[original] = node in current level graph.
+    std::vector<int32_t> node_map(res.community);
+
+    double modularity = 0.0;
+    for (int level = 0; level < params.maxLevels; ++level) {
+        double q = 0.0;
+        std::vector<int32_t> comm = localMoving(g, params, rng, &q);
+
+        std::vector<int32_t> renumber;
+        Graph coarse = aggregate(g, comm, &renumber);
+        for (int64_t u = 0; u < n; ++u)
+            node_map[u] = renumber[node_map[u]];
+
+        const bool converged =
+            coarse.nodes() == g.nodes() || q <= modularity + 1e-9;
+        modularity = std::max(modularity, q);
+        g = std::move(coarse);
+        if (converged)
+            break;
+    }
+
+    res.community = node_map;
+    res.modularity = modularity;
+    int32_t max_comm = 0;
+    for (int32_t c : res.community)
+        max_comm = std::max(max_comm, c);
+    res.numCommunities = max_comm + 1;
+
+    // Permutation: rows sorted by (community, original id).
+    res.permutation.resize(static_cast<size_t>(n));
+    std::iota(res.permutation.begin(), res.permutation.end(), 0);
+    std::stable_sort(res.permutation.begin(), res.permutation.end(),
+                     [&](int32_t a, int32_t b) {
+                         return res.community[a] < res.community[b];
+                     });
+    return res;
+}
+
+} // namespace dtc

@@ -1,0 +1,357 @@
+#include "reorder/metis_like.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dtc {
+
+namespace {
+
+/** Weighted undirected graph in CSR-style arrays. */
+struct PGraph
+{
+    std::vector<int64_t> offset;
+    std::vector<int32_t> adj;
+    std::vector<double> weight;
+    std::vector<int64_t> nodeWeight;
+
+    int64_t nodes() const
+    {
+        return static_cast<int64_t>(offset.size()) - 1;
+    }
+};
+
+/** Builds the symmetrized unit-weight graph of a CSR pattern. */
+PGraph
+buildGraph(const CsrMatrix& m)
+{
+    const int64_t n = m.rows();
+    std::vector<int64_t> deg(static_cast<size_t>(n), 0);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+            const int32_t c = m.colIdx()[k];
+            if (c == r)
+                continue;
+            deg[r]++;
+            deg[c]++;
+        }
+    }
+    PGraph g;
+    g.offset.resize(static_cast<size_t>(n) + 1, 0);
+    for (int64_t i = 0; i < n; ++i)
+        g.offset[i + 1] = g.offset[i] + deg[i];
+    g.adj.resize(static_cast<size_t>(g.offset[n]));
+    g.weight.assign(g.adj.size(), 1.0);
+    g.nodeWeight.assign(static_cast<size_t>(n), 1);
+    std::vector<int64_t> cursor(g.offset.begin(), g.offset.end() - 1);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+            const int32_t c = m.colIdx()[k];
+            if (c == r)
+                continue;
+            g.adj[cursor[r]++] = c;
+            g.adj[cursor[c]++] = static_cast<int32_t>(r);
+        }
+    }
+    return g;
+}
+
+/** Heavy-edge matching coarsening; fills coarse map and graph. */
+PGraph
+coarsen(const PGraph& g, Rng& rng, std::vector<int32_t>* map_out)
+{
+    const int64_t n = g.nodes();
+    std::vector<int32_t> match(static_cast<size_t>(n), -1);
+    std::vector<int32_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    for (int32_t u : order) {
+        if (match[u] >= 0)
+            continue;
+        int32_t best = -1;
+        double best_w = -1.0;
+        for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k) {
+            const int32_t v = g.adj[k];
+            if (v != u && match[v] < 0 && g.weight[k] > best_w) {
+                best_w = g.weight[k];
+                best = v;
+            }
+        }
+        if (best >= 0) {
+            match[u] = best;
+            match[best] = u;
+        } else {
+            match[u] = u;
+        }
+    }
+
+    std::vector<int32_t>& cmap = *map_out;
+    cmap.assign(static_cast<size_t>(n), -1);
+    int32_t next = 0;
+    for (int64_t u = 0; u < n; ++u) {
+        if (cmap[u] >= 0)
+            continue;
+        cmap[u] = next;
+        if (match[u] != static_cast<int32_t>(u))
+            cmap[match[u]] = next;
+        next++;
+    }
+
+    PGraph c;
+    std::vector<std::unordered_map<int32_t, double>> edges(
+        static_cast<size_t>(next));
+    c.nodeWeight.assign(static_cast<size_t>(next), 0);
+    for (int64_t u = 0; u < n; ++u) {
+        c.nodeWeight[cmap[u]] += g.nodeWeight[u];
+        for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k) {
+            const int32_t cv = cmap[g.adj[k]];
+            if (cv != cmap[u])
+                edges[cmap[u]][cv] += g.weight[k];
+        }
+    }
+    c.offset.resize(static_cast<size_t>(next) + 1, 0);
+    for (int32_t i = 0; i < next; ++i)
+        c.offset[i + 1] =
+            c.offset[i] + static_cast<int64_t>(edges[i].size());
+    c.adj.resize(static_cast<size_t>(c.offset[next]));
+    c.weight.resize(c.adj.size());
+    for (int32_t i = 0; i < next; ++i) {
+        int64_t k = c.offset[i];
+        for (const auto& [v, w] : edges[i]) {
+            c.adj[k] = v;
+            c.weight[k] = w;
+            k++;
+        }
+    }
+    return c;
+}
+
+/** BFS region growing bisection of the coarsest graph. */
+std::vector<int8_t>
+initialBisect(const PGraph& g, Rng& rng, double imbalance)
+{
+    const int64_t n = g.nodes();
+    int64_t total = 0;
+    for (int64_t w : g.nodeWeight)
+        total += w;
+    const int64_t target = total / 2;
+    const int64_t slack =
+        static_cast<int64_t>(imbalance * static_cast<double>(total));
+
+    // Pseudo-peripheral start: two BFS hops from a random node.
+    int32_t start = static_cast<int32_t>(rng.nextBounded(n));
+    for (int hop = 0; hop < 2; ++hop) {
+        std::vector<int8_t> seen(static_cast<size_t>(n), 0);
+        std::deque<int32_t> q{start};
+        seen[start] = 1;
+        int32_t last = start;
+        while (!q.empty()) {
+            last = q.front();
+            q.pop_front();
+            for (int64_t k = g.offset[last]; k < g.offset[last + 1];
+                 ++k) {
+                if (!seen[g.adj[k]]) {
+                    seen[g.adj[k]] = 1;
+                    q.push_back(g.adj[k]);
+                }
+            }
+        }
+        start = last;
+    }
+
+    std::vector<int8_t> side(static_cast<size_t>(n), 1);
+    std::vector<int8_t> seen(static_cast<size_t>(n), 0);
+    std::deque<int32_t> q{start};
+    seen[start] = 1;
+    int64_t grown = 0;
+    while (grown < target - slack / 2) {
+        if (q.empty()) {
+            // Disconnected: seed a fresh unvisited node.
+            int32_t u = -1;
+            for (int64_t i = 0; i < n; ++i) {
+                if (!seen[i]) {
+                    u = static_cast<int32_t>(i);
+                    break;
+                }
+            }
+            if (u < 0)
+                break;
+            seen[u] = 1;
+            q.push_back(u);
+        }
+        const int32_t u = q.front();
+        q.pop_front();
+        side[u] = 0;
+        grown += g.nodeWeight[u];
+        for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k) {
+            if (!seen[g.adj[k]]) {
+                seen[g.adj[k]] = 1;
+                q.push_back(g.adj[k]);
+            }
+        }
+    }
+    return side;
+}
+
+/** Positive-gain boundary refinement (simplified FM sweeps). */
+void
+refine(const PGraph& g, std::vector<int8_t>& side, int passes,
+       double imbalance)
+{
+    const int64_t n = g.nodes();
+    int64_t total = 0, w0 = 0;
+    for (int64_t u = 0; u < n; ++u) {
+        total += g.nodeWeight[u];
+        if (side[u] == 0)
+            w0 += g.nodeWeight[u];
+    }
+    const int64_t lo =
+        static_cast<int64_t>((0.5 - imbalance) *
+                             static_cast<double>(total));
+    const int64_t hi =
+        static_cast<int64_t>((0.5 + imbalance) *
+                             static_cast<double>(total));
+
+    for (int pass = 0; pass < passes; ++pass) {
+        int64_t moves = 0;
+        for (int64_t u = 0; u < n; ++u) {
+            double internal = 0.0, external = 0.0;
+            for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k) {
+                if (side[g.adj[k]] == side[u])
+                    internal += g.weight[k];
+                else
+                    external += g.weight[k];
+            }
+            if (external <= internal)
+                continue;
+            const int64_t new_w0 =
+                side[u] == 0 ? w0 - g.nodeWeight[u]
+                             : w0 + g.nodeWeight[u];
+            if (new_w0 < lo || new_w0 > hi)
+                continue;
+            side[u] ^= 1;
+            w0 = new_w0;
+            moves++;
+        }
+        if (moves == 0)
+            break;
+    }
+}
+
+/** Full multilevel bisection of the node set given by identity. */
+std::vector<int8_t>
+multilevelBisect(const PGraph& g, const MetisParams& p, Rng& rng)
+{
+    if (g.nodes() <= p.coarsestSize) {
+        auto side = initialBisect(g, rng, p.imbalance);
+        refine(g, side, p.refinePasses, p.imbalance);
+        return side;
+    }
+    std::vector<int32_t> cmap;
+    PGraph coarse = coarsen(g, rng, &cmap);
+    std::vector<int8_t> cside;
+    if (coarse.nodes() >= g.nodes()) {
+        // Matching failed to shrink (star graphs): bisect directly.
+        cside = initialBisect(g, rng, p.imbalance);
+        refine(g, cside, p.refinePasses, p.imbalance);
+        return cside;
+    }
+    cside = multilevelBisect(coarse, p, rng);
+    std::vector<int8_t> side(static_cast<size_t>(g.nodes()));
+    for (int64_t u = 0; u < g.nodes(); ++u)
+        side[u] = cside[cmap[u]];
+    refine(g, side, p.refinePasses, p.imbalance);
+    return side;
+}
+
+/** Extracts the subgraph induced by @p nodes. */
+PGraph
+subgraph(const PGraph& g, const std::vector<int32_t>& nodes)
+{
+    std::unordered_map<int32_t, int32_t> local;
+    local.reserve(nodes.size() * 2);
+    for (size_t i = 0; i < nodes.size(); ++i)
+        local[nodes[i]] = static_cast<int32_t>(i);
+
+    PGraph s;
+    s.offset.resize(nodes.size() + 1, 0);
+    s.nodeWeight.resize(nodes.size());
+    std::vector<std::pair<int32_t, double>> scratch;
+    std::vector<std::vector<std::pair<int32_t, double>>> rows(
+        nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const int32_t u = nodes[i];
+        s.nodeWeight[i] = g.nodeWeight[u];
+        for (int64_t k = g.offset[u]; k < g.offset[u + 1]; ++k) {
+            auto it = local.find(g.adj[k]);
+            if (it != local.end())
+                rows[i].emplace_back(it->second, g.weight[k]);
+        }
+        s.offset[i + 1] =
+            s.offset[i] + static_cast<int64_t>(rows[i].size());
+    }
+    s.adj.resize(static_cast<size_t>(s.offset.back()));
+    s.weight.resize(s.adj.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        int64_t k = s.offset[i];
+        for (const auto& [v, w] : rows[i]) {
+            s.adj[k] = v;
+            s.weight[k] = w;
+            k++;
+        }
+    }
+    return s;
+}
+
+/** Recursive bisection emitting parts in DFS order. */
+void
+recurse(const PGraph& g, const std::vector<int32_t>& nodes,
+        const MetisParams& p, Rng& rng, std::vector<int32_t>* out)
+{
+    if (static_cast<int64_t>(nodes.size()) <= p.targetPartSize) {
+        out->insert(out->end(), nodes.begin(), nodes.end());
+        return;
+    }
+    PGraph sub = subgraph(g, nodes);
+    std::vector<int8_t> side = multilevelBisect(sub, p, rng);
+    std::vector<int32_t> left, right;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (side[i] == 0)
+            left.push_back(nodes[i]);
+        else
+            right.push_back(nodes[i]);
+    }
+    if (left.empty() || right.empty()) {
+        // Degenerate cut: fall back to a plain split.
+        out->insert(out->end(), nodes.begin(), nodes.end());
+        return;
+    }
+    recurse(g, left, p, rng, out);
+    recurse(g, right, p, rng, out);
+}
+
+} // namespace
+
+std::vector<int32_t>
+metisLikeReorder(const CsrMatrix& m, const MetisParams& params)
+{
+    DTC_CHECK_MSG(m.rows() == m.cols(),
+                  "partitioning needs a square (graph) matrix");
+    Rng rng(params.seed);
+    PGraph g = buildGraph(m);
+    std::vector<int32_t> all(static_cast<size_t>(m.rows()));
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<int32_t> perm;
+    perm.reserve(all.size());
+    recurse(g, all, params, rng, &perm);
+    DTC_ASSERT(perm.size() == all.size());
+    return perm;
+}
+
+} // namespace dtc

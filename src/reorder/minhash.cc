@@ -1,0 +1,130 @@
+#include "reorder/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dtc {
+
+MinHasher::MinHasher(int num_hashes, uint64_t seed) : nHashes(num_hashes)
+{
+    DTC_CHECK(num_hashes > 0);
+    Rng rng(seed);
+    mulA.resize(static_cast<size_t>(num_hashes));
+    mulB.resize(static_cast<size_t>(num_hashes));
+    for (int i = 0; i < num_hashes; ++i) {
+        mulA[i] = rng.next64() | 1; // odd multiplier
+        mulB[i] = rng.next64();
+    }
+}
+
+void
+MinHasher::signature(const int32_t* begin, const int32_t* end,
+                     uint32_t* out) const
+{
+    std::fill(out, out + nHashes,
+              std::numeric_limits<uint32_t>::max());
+    for (const int32_t* p = begin; p != end; ++p) {
+        const uint64_t x = static_cast<uint64_t>(*p) + 1;
+        for (int i = 0; i < nHashes; ++i) {
+            // Multiply-xorshift hash, top 32 bits.
+            uint64_t h = x * mulA[i] + mulB[i];
+            h ^= h >> 29;
+            h *= 0xbf58476d1ce4e5b9ull;
+            const uint32_t v = static_cast<uint32_t>(h >> 32);
+            out[i] = std::min(out[i], v);
+        }
+    }
+}
+
+double
+jaccardSorted(const int32_t* a_begin, const int32_t* a_end,
+              const int32_t* b_begin, const int32_t* b_end)
+{
+    int64_t inter = 0;
+    const int32_t* a = a_begin;
+    const int32_t* b = b_begin;
+    while (a != a_end && b != b_end) {
+        if (*a < *b) {
+            ++a;
+        } else if (*b < *a) {
+            ++b;
+        } else {
+            ++inter;
+            ++a;
+            ++b;
+        }
+    }
+    const int64_t uni =
+        (a_end - a_begin) + (b_end - b_begin) - inter;
+    return uni > 0 ? static_cast<double>(inter) /
+                         static_cast<double>(uni)
+                   : 0.0;
+}
+
+std::vector<std::pair<int32_t, int32_t>>
+lshCandidatePairs(const std::vector<uint32_t>& signatures,
+                  int64_t num_sets, int num_hashes, int bands,
+                  size_t max_pairs)
+{
+    DTC_CHECK(bands > 0 && num_hashes % bands == 0);
+    DTC_CHECK(static_cast<int64_t>(signatures.size()) ==
+              num_sets * num_hashes);
+    const int rows_per_band = num_hashes / bands;
+
+    std::vector<std::pair<int32_t, int32_t>> pairs;
+    // Bucket key -> members, rebuilt per band.
+    std::unordered_map<uint64_t, std::vector<int32_t>> buckets;
+    // Global de-dup of emitted pairs.
+    std::unordered_map<uint64_t, bool> seen;
+
+    for (int band = 0; band < bands; ++band) {
+        buckets.clear();
+        for (int64_t s = 0; s < num_sets; ++s) {
+            uint64_t key = 0xcbf29ce484222325ull;
+            bool empty = true;
+            for (int i = 0; i < rows_per_band; ++i) {
+                const uint32_t v =
+                    signatures[s * num_hashes + band * rows_per_band +
+                               i];
+                if (v != std::numeric_limits<uint32_t>::max())
+                    empty = false;
+                key = (key ^ v) * 0x100000001b3ull;
+            }
+            if (!empty)
+                buckets[key].push_back(static_cast<int32_t>(s));
+        }
+        for (const auto& [key, members] : buckets) {
+            (void)key;
+            if (members.size() < 2)
+                continue;
+            // Dense buckets contribute a chain (adjacent pairs) plus
+            // a few skips, keeping output linear in bucket size while
+            // still letting transitive merges assemble the cluster.
+            const size_t m = members.size();
+            for (size_t i = 0; i + 1 < m; ++i) {
+                for (size_t step = 1;
+                     step <= 2 && i + step < m; ++step) {
+                    int32_t a = members[i];
+                    int32_t b = members[i + step];
+                    if (a > b)
+                        std::swap(a, b);
+                    const uint64_t pk =
+                        (static_cast<uint64_t>(a) << 32) |
+                        static_cast<uint32_t>(b);
+                    if (!seen.emplace(pk, true).second)
+                        continue;
+                    pairs.emplace_back(a, b);
+                    if (pairs.size() >= max_pairs)
+                        return pairs;
+                }
+            }
+        }
+    }
+    return pairs;
+}
+
+} // namespace dtc

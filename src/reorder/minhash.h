@@ -1,0 +1,69 @@
+/**
+ * @file
+ * MinHash signatures, LSH candidate generation and exact Jaccard —
+ * the similarity machinery behind TCU-Cache-Aware reordering
+ * (paper Section 4.3, Algorithm 1 lines 2 and 16).
+ *
+ * Rows (or clusters of rows) are treated as sets of column indices.
+ * MinHash compresses each set into k signature slots; banding the
+ * signature (LSH) yields candidate pairs whose exact Jaccard index is
+ * then computed on the sorted sets.  The same machinery serves both
+ * hierarchies: Hierarchy I hashes individual rows, Hierarchy II
+ * hashes the deduplicated column sets of whole row clusters.
+ */
+#ifndef DTC_REORDER_MINHASH_H
+#define DTC_REORDER_MINHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dtc {
+
+/** MinHash signature generator with k independent hash functions. */
+class MinHasher
+{
+  public:
+    MinHasher(int num_hashes, uint64_t seed);
+
+    int numHashes() const { return nHashes; }
+
+    /**
+     * Writes the @p num_hashes signature of the set
+     * [@p begin, @p end) into @p out.  Empty sets get all-ones
+     * signatures (never similar to anything).
+     */
+    void signature(const int32_t* begin, const int32_t* end,
+                   uint32_t* out) const;
+
+  private:
+    int nHashes;
+    /** Per-hash multiply/xor constants. */
+    std::vector<uint64_t> mulA;
+    std::vector<uint64_t> mulB;
+};
+
+/**
+ * Exact Jaccard index of two ascending-sorted sets.
+ * Returns 0 for two empty sets.
+ */
+double jaccardSorted(const int32_t* a_begin, const int32_t* a_end,
+                     const int32_t* b_begin, const int32_t* b_end);
+
+/**
+ * LSH banding: groups sets whose signature agrees on any band of
+ * (num_hashes / bands) consecutive slots, and emits each co-banded
+ * pair once.  @p max_pairs caps the output (dense buckets are
+ * truncated pairwise-adjacently so the merge queue stays linear).
+ *
+ * @param signatures  num_sets * num_hashes slots, set-major
+ */
+std::vector<std::pair<int32_t, int32_t>>
+lshCandidatePairs(const std::vector<uint32_t>& signatures,
+                  int64_t num_sets, int num_hashes, int bands,
+                  size_t max_pairs);
+
+} // namespace dtc
+
+#endif // DTC_REORDER_MINHASH_H

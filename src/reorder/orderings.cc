@@ -1,0 +1,189 @@
+#include "reorder/orderings.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/check.h"
+#include "reorder/louvain.h"
+#include "reorder/metis_like.h"
+#include "reorder/tca.h"
+
+namespace dtc {
+
+const char*
+reorderMethodName(ReorderMethod method)
+{
+    switch (method) {
+      case ReorderMethod::Identity:
+        return "SGT";
+      case ReorderMethod::Degree:
+        return "Degree";
+      case ReorderMethod::Rcm:
+        return "RCM";
+      case ReorderMethod::Metis:
+        return "METIS";
+      case ReorderMethod::Louvain:
+        return "Louvain";
+      case ReorderMethod::Lsh64:
+        return "LSH64";
+      case ReorderMethod::TcaTcuOnly:
+        return "TCA(TCU-only)";
+      case ReorderMethod::Tca:
+        return "TCA";
+    }
+    return "?";
+}
+
+std::vector<int32_t>
+identityOrder(int64_t n)
+{
+    std::vector<int32_t> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    return perm;
+}
+
+std::vector<int32_t>
+degreeOrder(const CsrMatrix& m)
+{
+    std::vector<int32_t> perm = identityOrder(m.rows());
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](int32_t a, int32_t b) {
+                         return m.rowLength(a) > m.rowLength(b);
+                     });
+    return perm;
+}
+
+std::vector<int32_t>
+rcmOrder(const CsrMatrix& m)
+{
+    DTC_CHECK_MSG(m.rows() == m.cols(), "RCM needs a square matrix");
+    const int64_t n = m.rows();
+
+    // Symmetrized adjacency.
+    std::vector<int64_t> deg(static_cast<size_t>(n), 0);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+            const int32_t c = m.colIdx()[k];
+            if (c == r)
+                continue;
+            deg[r]++;
+            deg[c]++;
+        }
+    }
+    std::vector<int64_t> offset(static_cast<size_t>(n) + 1, 0);
+    for (int64_t i = 0; i < n; ++i)
+        offset[i + 1] = offset[i] + deg[i];
+    std::vector<int32_t> adj(static_cast<size_t>(offset[n]));
+    std::vector<int64_t> cursor(offset.begin(), offset.end() - 1);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+            const int32_t c = m.colIdx()[k];
+            if (c == r)
+                continue;
+            adj[cursor[r]++] = c;
+            adj[cursor[c]++] = static_cast<int32_t>(r);
+        }
+    }
+
+    std::vector<int32_t> order;
+    order.reserve(static_cast<size_t>(n));
+    std::vector<int8_t> seen(static_cast<size_t>(n), 0);
+    std::vector<int32_t> nbrs;
+    for (int64_t seed = 0; seed < n; ++seed) {
+        if (seen[seed])
+            continue;
+        // Start each component at its minimum-degree node reachable
+        // from `seed` (cheap pseudo-peripheral heuristic).
+        std::deque<int32_t> q{static_cast<int32_t>(seed)};
+        seen[seed] = 1;
+        order.push_back(static_cast<int32_t>(seed));
+        while (!q.empty()) {
+            const int32_t u = q.front();
+            q.pop_front();
+            nbrs.clear();
+            for (int64_t k = offset[u]; k < offset[u + 1]; ++k) {
+                if (!seen[adj[k]])
+                    nbrs.push_back(adj[k]);
+            }
+            std::sort(nbrs.begin(), nbrs.end(),
+                      [&](int32_t a, int32_t b) {
+                          if (deg[a] != deg[b])
+                              return deg[a] < deg[b];
+                          return a < b;
+                      });
+            for (int32_t v : nbrs) {
+                if (!seen[v]) {
+                    seen[v] = 1;
+                    order.push_back(v);
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<int32_t>
+computeReordering(const CsrMatrix& m, ReorderMethod method,
+                  const ReorderParams& params)
+{
+    switch (method) {
+      case ReorderMethod::Identity:
+        return identityOrder(m.rows());
+      case ReorderMethod::Degree:
+        return degreeOrder(m);
+      case ReorderMethod::Rcm:
+        return rcmOrder(m);
+      case ReorderMethod::Metis: {
+        MetisParams p;
+        p.seed = params.seed;
+        return metisLikeReorder(m, p);
+      }
+      case ReorderMethod::Louvain: {
+        LouvainParams p;
+        p.seed = params.seed;
+        return louvainReorder(m, p).permutation;
+      }
+      case ReorderMethod::Lsh64: {
+        TcaParams p;
+        p.blockHeight = 64;
+        p.cacheAware = false;
+        p.seed = params.seed;
+        return tcaReorder(m, p).permutation;
+      }
+      case ReorderMethod::TcaTcuOnly: {
+        TcaParams p;
+        p.blockHeight = params.blockHeight;
+        p.cacheAware = false;
+        p.seed = params.seed;
+        return tcaReorder(m, p).permutation;
+      }
+      case ReorderMethod::Tca: {
+        TcaParams p;
+        p.blockHeight = params.blockHeight;
+        p.smNum = params.smNum;
+        p.seed = params.seed;
+        return tcaReorder(m, p).permutation;
+      }
+    }
+    DTC_ASSERT(false);
+    return {};
+}
+
+bool
+isPermutation(const std::vector<int32_t>& perm, int64_t n)
+{
+    if (static_cast<int64_t>(perm.size()) != n)
+        return false;
+    std::vector<int8_t> seen(static_cast<size_t>(n), 0);
+    for (int32_t p : perm) {
+        if (p < 0 || p >= n || seen[p])
+            return false;
+        seen[p] = 1;
+    }
+    return true;
+}
+
+} // namespace dtc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reordering method registry: classic orderings (identity, degree
+ * sort, Reverse Cuthill-McKee), the LSH64 baseline, and a dispatcher
+ * over every method compared in Fig. 13.
+ */
+#ifndef DTC_REORDER_ORDERINGS_H
+#define DTC_REORDER_ORDERINGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** Reordering methods compared in the paper's Fig. 13. */
+enum class ReorderMethod
+{
+    Identity,   ///< No reordering (SGT on the original labeling).
+    Degree,     ///< Rows sorted by descending degree.
+    Rcm,        ///< Reverse Cuthill-McKee (bandwidth reduction).
+    Metis,      ///< METIS-style multilevel partitioning.
+    Louvain,    ///< Louvain community detection.
+    Lsh64,      ///< LSH clustering with 64-row limit, one level.
+    TcaTcuOnly, ///< TCA Hierarchy I only (ablation).
+    Tca,        ///< Full TCU-Cache-Aware reordering.
+};
+
+/** Display name of a method. */
+const char* reorderMethodName(ReorderMethod method);
+
+/** Shared knobs for the dispatcher. */
+struct ReorderParams
+{
+    int blockHeight = 16; ///< TCA Hierarchy-I limit.
+    int smNum = 128;      ///< TCA Hierarchy-II limit.
+    uint64_t seed = 0x05eed;
+};
+
+/** Identity permutation. */
+std::vector<int32_t> identityOrder(int64_t n);
+
+/** Rows sorted by descending length, stable. */
+std::vector<int32_t> degreeOrder(const CsrMatrix& m);
+
+/**
+ * Reverse Cuthill-McKee on the symmetrized pattern: BFS from a
+ * pseudo-peripheral vertex, neighbours visited in ascending-degree
+ * order, final order reversed.  @pre square matrix.
+ */
+std::vector<int32_t> rcmOrder(const CsrMatrix& m);
+
+/** Dispatches to the requested method. */
+std::vector<int32_t> computeReordering(const CsrMatrix& m,
+                                       ReorderMethod method,
+                                       const ReorderParams& params = {});
+
+/** Checks that @p perm is a permutation of [0, n). */
+bool isPermutation(const std::vector<int32_t>& perm, int64_t n);
+
+} // namespace dtc
+
+#endif // DTC_REORDER_ORDERINGS_H

@@ -1,0 +1,49 @@
+#include "selector/selector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "gpusim/scheduler.h"
+
+namespace dtc {
+
+SelectorDecision
+selectKernel(const std::vector<int64_t>& blocks_per_window,
+             const ArchSpec& arch, double threshold)
+{
+    DTC_CHECK(threshold > 0.0);
+    SelectorDecision d;
+
+    std::vector<double> costs(blocks_per_window.size());
+    double total = 0.0;
+    for (size_t i = 0; i < blocks_per_window.size(); ++i) {
+        costs[i] = static_cast<double>(blocks_per_window[i]);
+        total += costs[i];
+    }
+    if (total == 0.0)
+        return d;
+
+    ScheduleResult sched =
+        scheduleThreadBlocks(costs, arch.numSms, arch.occupancy);
+    d.makespanBase = sched.makespanCycles;
+    d.makespanBalanced =
+        total / (static_cast<double>(arch.numSms) *
+                 static_cast<double>(arch.occupancy));
+    d.approximationRatio =
+        d.makespanBalanced > 0.0 ? d.makespanBase / d.makespanBalanced
+                                 : 1.0;
+    d.useBalanced = d.approximationRatio > threshold;
+    return d;
+}
+
+SelectorDecision
+selectKernel(const MeTcfMatrix& m, const ArchSpec& arch,
+             double threshold)
+{
+    std::vector<int64_t> blocks(static_cast<size_t>(m.numWindows()));
+    for (int64_t w = 0; w < m.numWindows(); ++w)
+        blocks[static_cast<size_t>(w)] = m.blocksInWindow(w);
+    return selectKernel(blocks, arch, threshold);
+}
+
+} // namespace dtc

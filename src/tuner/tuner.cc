@@ -1,0 +1,99 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "formats/convert_cost.h"
+
+namespace dtc {
+
+const TuneEntry&
+TuneResult::best() const
+{
+    for (const TuneEntry& e : entries) {
+        if (e.supported)
+            return e;
+    }
+    DTC_CHECK_MSG(false, "no supported candidate kernel");
+    throw std::logic_error("unreachable");
+}
+
+std::vector<KernelKind>
+defaultTuneCandidates()
+{
+    return {
+        KernelKind::Dtc,      KernelKind::CuSparse,
+        KernelKind::Sputnik,  KernelKind::SparseTir,
+        KernelKind::Tcgnn,
+    };
+}
+
+namespace {
+
+/** One-time conversion cost of a kernel's storage format. */
+double
+conversionCost(KernelKind kind, const CsrMatrix& m,
+               const CostModel& cm)
+{
+    switch (kind) {
+      case KernelKind::Dtc:
+      case KernelKind::DtcBase:
+      case KernelKind::DtcBalanced:
+        return meTcfConversionCost(m, cm).timeMs;
+      case KernelKind::Tcgnn:
+        // TC-GNN converts on the CPU (paper Section 6).
+        return tcgnnCpuConversionMs(m);
+      case KernelKind::CuSparse:
+        return 0.0; // consumes CSR directly
+      default: {
+        // Other formats: one streaming rewrite of the matrix.
+        const double bytes = static_cast<double>(m.nnz()) * 12.0;
+        return bytes / (cm.arch().dramBwGBps * 1e9) * 1e3 * 3.0;
+      }
+    }
+}
+
+} // namespace
+
+TuneResult
+tuneSpmm(const CsrMatrix& m, const TuneRequest& request,
+         const CostModel& cm)
+{
+    DTC_CHECK(request.denseWidth > 0 && request.iterations > 0);
+    const std::vector<KernelKind> candidates =
+        request.candidates.empty() ? defaultTuneCandidates()
+                                   : request.candidates;
+
+    TuneResult result;
+    for (KernelKind kind : candidates) {
+        TuneEntry entry;
+        entry.kind = kind;
+        entry.name = kernelKindName(kind);
+
+        auto kernel = makeKernel(kind);
+        const std::string err = kernel->prepare(m);
+        if (!err.empty()) {
+            entry.reason = err;
+            result.entries.push_back(std::move(entry));
+            continue;
+        }
+        entry.supported = true;
+        entry.spmmMs = kernel->cost(request.denseWidth, cm).timeMs;
+        entry.conversionMs = conversionCost(kind, m, cm);
+        entry.amortizedMs =
+            entry.spmmMs +
+            entry.conversionMs /
+                static_cast<double>(request.iterations);
+        result.entries.push_back(std::move(entry));
+    }
+
+    std::stable_sort(result.entries.begin(), result.entries.end(),
+                     [](const TuneEntry& a, const TuneEntry& b) {
+                         if (a.supported != b.supported)
+                             return a.supported;
+                         return a.amortizedMs < b.amortizedMs;
+                     });
+    return result;
+}
+
+} // namespace dtc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Input-adaptive kernel tuner.
+ *
+ * The paper's Selector chooses *within* DTC-SpMM (base vs balanced).
+ * Deployments also face the outer question — which SpMM library to
+ * use for a given matrix at all (cf. the paper's Section 6 closing:
+ * lighter-weight systems win when the matrix changes every call,
+ * and "heuristic adaptability to input dynamics" is its own line of
+ * work [6]).  The tuner answers it the same way the Selector does:
+ * by *simulating* every candidate on the cost model and ranking,
+ * amortizing one-time conversion cost over the expected number of
+ * SpMM executions.
+ */
+#ifndef DTC_TUNER_TUNER_H
+#define DTC_TUNER_TUNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.h"
+#include "kernels/kernel.h"
+#include "matrix/csr.h"
+
+namespace dtc {
+
+/** Tuning request. */
+struct TuneRequest
+{
+    int64_t denseWidth = 128;
+
+    /**
+     * Expected SpMM executions over the matrix's lifetime; one-time
+     * conversion cost is divided by this (iterative workloads make
+     * heavy formats worthwhile, single-shot ones do not).
+     */
+    int64_t iterations = 1000;
+
+    /** Candidate kernels (empty = the default general-SpMM set). */
+    std::vector<KernelKind> candidates;
+};
+
+/** One candidate's evaluation. */
+struct TuneEntry
+{
+    KernelKind kind;
+    std::string name;
+    bool supported = false;
+    std::string reason;          ///< Refusal reason if unsupported.
+    double spmmMs = 0.0;         ///< Simulated per-execution time.
+    double conversionMs = 0.0;   ///< Simulated one-time conversion.
+    double amortizedMs = 0.0;    ///< spmm + conversion/iterations.
+};
+
+/** Tuning outcome: entries sorted by amortized time, best first. */
+struct TuneResult
+{
+    std::vector<TuneEntry> entries;
+
+    /** The winning entry. @pre at least one supported candidate. */
+    const TuneEntry& best() const;
+};
+
+/** Default candidate set for general SpMM. */
+std::vector<KernelKind> defaultTuneCandidates();
+
+/**
+ * Evaluates every candidate kernel on @p m under @p cm and ranks by
+ * amortized per-execution time.
+ */
+TuneResult tuneSpmm(const CsrMatrix& m, const TuneRequest& request,
+                    const CostModel& cm);
+
+} // namespace dtc
+
+#endif // DTC_TUNER_TUNER_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the structured-sparsity formats: Blocked-ELL
+ * (padding, OOM refusal) and CVSE (vector packing, fill efficiency).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/bell.h"
+#include "formats/cvse.h"
+#include "matrix/coo.h"
+
+namespace dtc {
+namespace {
+
+constexpr int64_t kBigLimit = 1ll << 40;
+
+TEST(Bell, BlockStructurePreserved)
+{
+    Rng rng(1);
+    CsrMatrix m = genBlockDiagonal(128, 32, 0.4, rng);
+    auto res = bellTryBuild(m, 32, kBigLimit);
+    ASSERT_FALSE(res.oom);
+    const BellMatrix& b = res.matrix;
+    // A block-diagonal matrix with matching block size packs into
+    // exactly one block column per block row.
+    EXPECT_EQ(b.ellCols(), 1);
+    EXPECT_EQ(b.numNonzeroBlocks(), 4);
+    EXPECT_GT(b.fillEfficiency(), 0.3);
+}
+
+TEST(Bell, ValuesLandInRightSlots)
+{
+    CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(1, 3, 2.0f);
+    coo.add(3, 2, 3.0f);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    auto res = bellTryBuild(m, 2, kBigLimit);
+    ASSERT_FALSE(res.oom);
+    const BellMatrix& b = res.matrix;
+    auto dense = m.toDense();
+    // Reconstruct from BELL and compare.
+    std::vector<float> rebuilt(16, 0.0f);
+    for (int64_t br = 0; br < b.numBlockRows(); ++br) {
+        for (int64_t s = 0; s < b.ellCols(); ++s) {
+            int32_t bc = b.blockColIdx()[br * b.ellCols() + s];
+            if (bc == BellMatrix::kPadBlock)
+                continue;
+            for (int64_t i = 0; i < 2; ++i)
+                for (int64_t j = 0; j < 2; ++j)
+                    rebuilt[(br * 2 + i) * 4 + bc * 2 + j] =
+                        b.values()[((br * b.ellCols() + s) * 2 + i) *
+                                       2 +
+                                   j];
+        }
+    }
+    EXPECT_EQ(rebuilt, dense);
+}
+
+TEST(Bell, EllPaddingUsesSentinel)
+{
+    // One dense row block, one sparse: ELL width padded to the max.
+    CooMatrix coo(4, 64);
+    for (int32_t c = 0; c < 64; c += 2)
+        coo.add(0, c, 1.0f);
+    coo.add(2, 0, 1.0f);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    auto res = bellTryBuild(m, 2, kBigLimit);
+    ASSERT_FALSE(res.oom);
+    const BellMatrix& b = res.matrix;
+    EXPECT_EQ(b.ellCols(), 32);
+    int64_t pads = 0;
+    for (int32_t bc : b.blockColIdx())
+        if (bc == BellMatrix::kPadBlock)
+            pads++;
+    EXPECT_EQ(pads, 31); // second block row has 1 real of 32 slots
+}
+
+TEST(Bell, OomRefusalOnScatteredMatrix)
+{
+    // Power-law hubs touch many block columns: padded footprint
+    // explodes and the conversion must refuse.
+    Rng rng(2);
+    CsrMatrix m = genPowerLaw(8192, 12.0, 1.5, rng);
+    auto res = bellTryBuild(m, 64, 8ll << 20); // 8 MiB budget
+    EXPECT_TRUE(res.oom);
+    EXPECT_GT(res.projectedBytes, 8ll << 20);
+}
+
+TEST(Bell, FootprintBytesMatchesArrays)
+{
+    Rng rng(3);
+    CsrMatrix m = genBanded(256, 16, 6.0, rng);
+    auto res = bellTryBuild(m, 16, kBigLimit);
+    ASSERT_FALSE(res.oom);
+    EXPECT_EQ(res.matrix.footprintBytes(),
+              static_cast<int64_t>(res.matrix.values().size() * 4 +
+                                   res.matrix.blockColIdx().size() *
+                                       4));
+    EXPECT_EQ(res.projectedBytes, res.matrix.footprintBytes());
+}
+
+TEST(Cvse, PanelsCoverAllRows)
+{
+    Rng rng(4);
+    CsrMatrix m = genUniform(100, 6.0, rng);
+    CvseMatrix v = CvseMatrix::build(m, 8);
+    EXPECT_EQ(v.numPanels(), (m.rows() + 7) / 8);
+}
+
+TEST(Cvse, ReconstructsMatrix)
+{
+    Rng rng(5);
+    CsrMatrix m = genUniform(96, 5.0, rng);
+    CvseMatrix v = CvseMatrix::build(m, 4);
+    auto dense = m.toDense();
+    std::vector<float> rebuilt(dense.size(), 0.0f);
+    for (int64_t p = 0; p < v.numPanels(); ++p) {
+        for (int64_t s = v.panelOffset()[p]; s < v.panelOffset()[p + 1];
+             ++s) {
+            for (int64_t i = 0; i < 4; ++i) {
+                const int64_t row = p * 4 + i;
+                if (row >= m.rows())
+                    break;
+                rebuilt[row * m.cols() + v.vecCol()[s]] =
+                    v.values()[s * 4 + i];
+            }
+        }
+    }
+    EXPECT_EQ(rebuilt, dense);
+}
+
+TEST(Cvse, MeanNnzPerVectorBounded)
+{
+    Rng rng(6);
+    CsrMatrix m = genUniform(200, 8.0, rng);
+    CvseMatrix v = CvseMatrix::build(m, 8);
+    EXPECT_GT(v.meanNnzPerVector(), 1.0 - 1e-9);
+    EXPECT_LE(v.meanNnzPerVector(), 8.0);
+    EXPECT_DOUBLE_EQ(v.fillEfficiency(),
+                     v.meanNnzPerVector() / 8.0);
+}
+
+TEST(Cvse, FinerVectorsPadLess)
+{
+    Rng rng(7);
+    CsrMatrix m = genPowerLaw(1024, 10.0, 1.3, rng);
+    CvseMatrix v4 = CvseMatrix::build(m, 4);
+    CvseMatrix v8 = CvseMatrix::build(m, 8);
+    EXPECT_GE(v4.fillEfficiency(), v8.fillEfficiency());
+}
+
+TEST(Cvse, SharedColumnsCondense)
+{
+    // All 8 rows of a panel share the same columns: one vector per
+    // column, perfectly filled.
+    CooMatrix coo(8, 32);
+    for (int32_t r = 0; r < 8; ++r)
+        for (int32_t c = 0; c < 4; ++c)
+            coo.add(r, c * 8, 2.0f);
+    CvseMatrix v = CvseMatrix::build(CsrMatrix::fromCoo(coo), 8);
+    EXPECT_EQ(v.numVectors(), 4);
+    EXPECT_DOUBLE_EQ(v.fillEfficiency(), 1.0);
+}
+
+} // namespace
+} // namespace dtc

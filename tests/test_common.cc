@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG determinism and
+ * distributions, TF32 rounding semantics, check macros.
+ */
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/tf32.h"
+
+namespace dtc {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next64() == b.next64())
+            same++;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextIntInclusiveRange)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = rng.nextInt(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ZipfSkewPrefersSmallValues)
+{
+    Rng rng(5);
+    int64_t small = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        if (rng.nextZipf(1000, 1.5) < 10)
+            small++;
+    // With s=1.5 the first 10 values carry most of the mass.
+    EXPECT_GT(small, trials / 2);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish)
+{
+    Rng rng(5);
+    int64_t small = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        if (rng.nextZipf(1000, 0.0) < 100)
+            small++;
+    EXPECT_NEAR(static_cast<double>(small) / trials, 0.1, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(9);
+    auto s = rng.sampleWithoutReplacement(100, 40);
+    std::set<uint64_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 40u);
+    for (uint64_t v : s)
+        EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(13);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Tf32, ExactValuesUnchanged)
+{
+    // Values representable in 10 mantissa bits pass through.
+    EXPECT_EQ(tf32Round(1.0f), 1.0f);
+    EXPECT_EQ(tf32Round(-2.5f), -2.5f);
+    EXPECT_EQ(tf32Round(0.0f), 0.0f);
+    EXPECT_EQ(tf32Round(1024.0f), 1024.0f);
+}
+
+TEST(Tf32, DropsLowMantissaBits)
+{
+    const float x = 1.0f + std::ldexp(1.0f, -20); // needs 20 bits
+    const float r = tf32Round(x);
+    EXPECT_EQ(r, 1.0f); // rounds back down to 1.0
+}
+
+TEST(Tf32, RoundsToNearest)
+{
+    // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10;
+    // round-to-even keeps 1.0.
+    const float x = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(tf32Round(x), 1.0f);
+    // Just above the halfway point rounds up.
+    const float y = 1.0f + std::ldexp(1.0f, -11) +
+                    std::ldexp(1.0f, -14);
+    EXPECT_EQ(tf32Round(y), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Tf32, RelativeErrorBounded)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        float x = rng.nextFloat(-1000.0f, 1000.0f);
+        if (x == 0.0f)
+            continue;
+        float r = tf32Round(x);
+        EXPECT_LE(std::abs(r - x) / std::abs(x),
+                  std::ldexp(1.0, -11) + 1e-9);
+    }
+}
+
+TEST(Tf32, MantissaActuallyTruncated)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        float x = rng.nextFloat(-100.0f, 100.0f);
+        uint32_t bits = std::bit_cast<uint32_t>(tf32Round(x));
+        EXPECT_EQ(bits & ((1u << 13) - 1), 0u);
+    }
+}
+
+TEST(Tf32, NonFinitePassThrough)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(tf32Round(inf), inf);
+    EXPECT_EQ(tf32Round(-inf), -inf);
+    EXPECT_TRUE(std::isnan(
+        tf32Round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Tf32, FmaMatchesManualRounding)
+{
+    const float a = 1.2345678f, b = 7.654321f, acc = 0.5f;
+    EXPECT_EQ(tf32Fma(a, b, acc),
+              acc + tf32Round(a) * tf32Round(b));
+}
+
+TEST(Check, CheckThrowsInvalidArgument)
+{
+    EXPECT_THROW(DTC_CHECK(1 == 2), std::invalid_argument);
+    EXPECT_NO_THROW(DTC_CHECK(1 == 1));
+}
+
+TEST(Check, AssertThrowsLogicError)
+{
+    EXPECT_THROW(DTC_ASSERT(false), std::logic_error);
+    EXPECT_NO_THROW(DTC_ASSERT(true));
+}
+
+TEST(Check, MessageIncludesDetail)
+{
+    try {
+        DTC_CHECK_MSG(false, "rows=" << 42);
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("rows=42"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Property tests of the cost model and scheduler, including the
+ * paper's Fig. 10(b) worked example of the Eq. 1 scheduling policy
+ * (SM 0 hosts blocks 0, 128, 256, 384, 512, 640 in the first wave;
+ * block 768 arrives when a slot frees), monotonicity of every cost
+ * knob, and conservation properties of launches.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/scheduler.h"
+
+namespace dtc {
+namespace {
+
+TEST(SchedulerProperties, Fig10WorkedExample)
+{
+    // Paper Fig. 10(b): with 128 SMs and occupancy 6, SM 0's six
+    // concurrent blocks are 0, 128, 256, 384, 512, 640.
+    std::vector<int64_t> sm0_first_wave;
+    for (int64_t b = 0; b < 128 * 6; ++b) {
+        if (schedulerPolicySm(b, 128) == 0)
+            sm0_first_wave.push_back(b);
+    }
+    EXPECT_EQ(sm0_first_wave,
+              (std::vector<int64_t>{0, 128, 256, 384, 512, 640}));
+
+    // "As one thread block completes its computation (e.g., block
+    // 128), the next block (e.g., block 768) is scheduled."  Make
+    // block 128 the shortest so its slot frees first: block 768 must
+    // land on SM 0.
+    std::vector<double> tbs(1024, 100.0);
+    tbs[128] = 1.0;
+    ScheduleResult r = scheduleThreadBlocks(tbs, 128, 6);
+    EXPECT_EQ(r.tbToSm[768], 0);
+}
+
+TEST(SchedulerProperties, PolicyIsInterleavedEvenOdd)
+{
+    // Eq. 1 alternates even SMs then odd SMs across each half-wave.
+    for (int64_t b = 0; b < 64; ++b)
+        EXPECT_EQ(schedulerPolicySm(b, 128) % 2, 0);
+    for (int64_t b = 64; b < 128; ++b)
+        EXPECT_EQ(schedulerPolicySm(b, 128) % 2, 1);
+}
+
+TEST(SchedulerProperties, MakespanMonotoneInWork)
+{
+    std::vector<double> tbs(500, 50.0);
+    double prev = scheduleThreadBlocks(tbs, 16, 2).makespanCycles;
+    for (double extra : {10.0, 100.0, 1000.0}) {
+        auto grown = tbs;
+        grown[123] += extra;
+        double ms = scheduleThreadBlocks(grown, 16, 2).makespanCycles;
+        EXPECT_GE(ms, prev);
+        prev = ms;
+    }
+}
+
+class CostModelProperties : public ::testing::Test
+{
+  protected:
+    CostModel cm{ArchSpec::rtx4090()};
+
+    TbWork
+    baseWork()
+    {
+        TbWork w;
+        w.hmma = 100.0;
+        w.imad = 500.0;
+        w.ldg = 200.0;
+        w.bytesL2Hit = 5e5;
+        w.bytesDram = 1e5;
+        w.stallCycles = 1000.0;
+        w.execSerialFrac = 0.5;
+        w.memSerialFrac = 0.5;
+        w.memEfficiency = 0.8;
+        return w;
+    }
+};
+
+TEST_F(CostModelProperties, EveryCounterIncreasesCycles)
+{
+    const double base = cm.tbCycles(baseWork());
+    for (int knob = 0; knob < 7; ++knob) {
+        TbWork w = baseWork();
+        switch (knob) {
+          case 0:
+            w.hmma *= 2;
+            break;
+          case 1:
+            w.imad *= 2;
+            break;
+          case 2:
+            w.ldg *= 2;
+            break;
+          case 3:
+            w.bytesDram *= 2;
+            break;
+          case 4:
+            w.bytesL2Hit *= 2;
+            break;
+          case 5:
+            w.stallCycles *= 2;
+            break;
+          case 6:
+            w.atom += 100;
+            break;
+        }
+        EXPECT_GT(cm.tbCycles(w), base) << "knob " << knob;
+    }
+}
+
+TEST_F(CostModelProperties, EfficiencyAndOverlapReduceCycles)
+{
+    TbWork w = baseWork();
+    TbWork better = w;
+    better.memEfficiency = 0.95;
+    EXPECT_LT(cm.tbCycles(better), cm.tbCycles(w));
+
+    TbWork overlapped = w;
+    overlapped.execSerialFrac = 0.1;
+    overlapped.memSerialFrac = 0.1;
+    EXPECT_LT(cm.tbCycles(overlapped), cm.tbCycles(w));
+}
+
+TEST_F(CostModelProperties, FewerActiveSmsMoreBandwidthEach)
+{
+    // A thread block in a tiny grid gets a larger bandwidth share.
+    TbWork w = baseWork();
+    EXPECT_LT(cm.tbCycles(w, 8.0), cm.tbCycles(w, 128.0));
+}
+
+TEST_F(CostModelProperties, SmallLaunchUsesActiveSmShare)
+{
+    TbWork w = baseWork();
+    std::vector<TbWork> small(4, w), large(512, w);
+    LaunchResult rs = cm.launch("s", small, 1.0, 0.0);
+    LaunchResult rl = cm.launch("l", large, 1.0, 0.0);
+    // Per-block residency is shorter in the small launch (its 4
+    // blocks split the memory system 4 ways, not 128).
+    const double per_block_small = rs.makespanCycles;
+    const double per_block_large =
+        rl.makespanCycles / (512.0 / 128.0);
+    EXPECT_LT(per_block_small, per_block_large);
+}
+
+TEST_F(CostModelProperties, LaunchBusyCyclesConserveWork)
+{
+    // 256 blocks saturate all 128 SMs, so the launch uses the same
+    // full-device bandwidth share as the tbCycles default.
+    std::vector<TbWork> tbs(256, baseWork());
+    LaunchResult r = cm.launch("k", tbs, 1.0, 0.0);
+    const double total_busy =
+        std::accumulate(r.smBusyCycles.begin(),
+                        r.smBusyCycles.end(), 0.0);
+    EXPECT_NEAR(total_busy, 256.0 * cm.tbCycles(baseWork()), 1e-6);
+}
+
+TEST_F(CostModelProperties, TbWorkAddAccumulates)
+{
+    TbWork a = baseWork(), b = baseWork();
+    TbWork sum = a;
+    sum.add(b);
+    EXPECT_DOUBLE_EQ(sum.hmma, a.hmma + b.hmma);
+    EXPECT_DOUBLE_EQ(sum.bytesDram, a.bytesDram + b.bytesDram);
+    EXPECT_DOUBLE_EQ(sum.stallCycles,
+                     a.stallCycles + b.stallCycles);
+}
+
+TEST_F(CostModelProperties, Rtx3090TensorOpsCostMore)
+{
+    CostModel cm3090{ArchSpec::rtx3090()};
+    TbWork w;
+    w.hmma = 1000.0;
+    w.execSerialFrac = 0.0;
+    w.memSerialFrac = 0.0;
+    w.fixedCycles = 0.0;
+    w.stallCycles = 0.0;
+    // GA102 retires TF32 MMA at half the Ada rate.
+    EXPECT_NEAR(cm3090.tbCycles(w) / cm.tbCycles(w), 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace dtc

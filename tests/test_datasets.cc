@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the synthetic dataset generators, Table-1 analogs,
+ * and the SuiteSparse-like collection.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/collection.h"
+#include "datasets/generators.h"
+#include "datasets/table1.h"
+#include "matrix/stats.h"
+#include "reorder/orderings.h"
+
+namespace dtc {
+namespace {
+
+TEST(Generators, UniformHitsTargetDegree)
+{
+    Rng rng(1);
+    CsrMatrix m = genUniform(4000, 12.0, rng);
+    EXPECT_NO_THROW(m.validate());
+    MatrixStats s = computeStats(m);
+    EXPECT_NEAR(s.avgRowLength, 12.0, 1.5);
+}
+
+TEST(Generators, UniformIsSymmetric)
+{
+    Rng rng(2);
+    CsrMatrix m = genUniform(500, 6.0, rng);
+    CsrMatrix t = m.transposed();
+    EXPECT_EQ(m.rowPtr(), t.rowPtr());
+    EXPECT_EQ(m.colIdx(), t.colIdx());
+}
+
+TEST(Generators, PowerLawSkewsDegrees)
+{
+    Rng rng(3);
+    CsrMatrix m = genPowerLaw(4000, 10.0, 1.3, rng);
+    MatrixStats s = computeStats(m);
+    EXPECT_NEAR(s.avgRowLength, 10.0, 3.0);
+    EXPECT_GT(s.maxRowLength, 30 * 10); // hubs exist
+}
+
+TEST(Generators, RmatProducesTargetishNnz)
+{
+    Rng rng(4);
+    CsrMatrix m = genRmat(2048, 2048 * 8, 0.57, 0.19, 0.19, rng);
+    EXPECT_NO_THROW(m.validate());
+    // Symmetrization + dedup move the count; demand the right order.
+    EXPECT_GT(m.nnz(), 2048 * 4);
+    EXPECT_LT(m.nnz(), 2048 * 12);
+}
+
+TEST(Generators, BandedStaysInBand)
+{
+    Rng rng(5);
+    const int64_t band = 8;
+    CsrMatrix m = genBanded(1000, band, 4.0, rng);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k)
+            EXPECT_LE(std::abs(m.colIdx()[k] - r), band);
+    }
+}
+
+TEST(Generators, BlockDiagonalStaysInBlocks)
+{
+    Rng rng(6);
+    const int64_t block = 32;
+    CsrMatrix m = genBlockDiagonal(256, block, 0.3, rng);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k)
+            EXPECT_EQ(m.colIdx()[k] / block, r / block);
+    }
+}
+
+TEST(Generators, CommunityMostlyIntra)
+{
+    Rng rng(7);
+    const int64_t n = 2048, n_comm = 8;
+    CsrMatrix m = genCommunity(n, n_comm, 20.0, 0.9, rng);
+    const int64_t comm_size = n / n_comm;
+    int64_t intra = 0;
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k)
+            if (m.colIdx()[k] / comm_size == r / comm_size)
+                intra++;
+    }
+    EXPECT_GT(static_cast<double>(intra) /
+                  static_cast<double>(m.nnz()),
+              0.8);
+}
+
+TEST(Generators, ComponentsHaveSmallRows)
+{
+    Rng rng(8);
+    CsrMatrix m = genComponents(20000, 8, 28, 0.10, rng);
+    MatrixStats s = computeStats(m);
+    EXPECT_GT(s.avgRowLength, 1.5);
+    EXPECT_LT(s.avgRowLength, 3.0);
+    EXPECT_EQ(s.emptyRows, 0);
+}
+
+TEST(Generators, ShuffleLabelsPreservesNnz)
+{
+    Rng rng(9);
+    CsrMatrix m = genCommunity(512, 8, 10.0, 0.9, rng);
+    CsrMatrix s = shuffleLabels(m, rng);
+    EXPECT_EQ(s.nnz(), m.nnz());
+    EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Generators, DeterministicAcrossRuns)
+{
+    Rng a(42), b(42);
+    CsrMatrix m1 = genPowerLaw(1000, 8.0, 1.2, a);
+    CsrMatrix m2 = genPowerLaw(1000, 8.0, 1.2, b);
+    EXPECT_TRUE(m1 == m2);
+}
+
+TEST(Table1, HasEightEntriesInPaperOrder)
+{
+    const auto& entries = table1Entries();
+    ASSERT_EQ(entries.size(), 8u);
+    EXPECT_EQ(entries[0].abbr, "YH");
+    EXPECT_EQ(entries[5].abbr, "reddit");
+    EXPECT_EQ(entries[7].abbr, "protein");
+}
+
+TEST(Table1, TypeClassificationMatchesPaper)
+{
+    for (const auto& e : table1Entries()) {
+        if (e.paperAvgRowL < 100)
+            EXPECT_EQ(e.type, MatrixType::TypeI) << e.abbr;
+        else
+            EXPECT_EQ(e.type, MatrixType::TypeII) << e.abbr;
+    }
+}
+
+TEST(Table1, AnalogsPreserveRowLengthRegime)
+{
+    for (const auto& e : table1Entries()) {
+        CsrMatrix m = e.make();
+        MatrixStats s = computeStats(m);
+        if (e.type == MatrixType::TypeI) {
+            EXPECT_LT(s.avgRowLength, 30.0) << e.abbr;
+            // Within 2.5x of the paper's AvgRowL.
+            EXPECT_NEAR(s.avgRowLength / e.paperAvgRowL, 1.0, 1.5)
+                << e.abbr;
+        } else {
+            EXPECT_GT(s.avgRowLength, 150.0) << e.abbr;
+        }
+    }
+}
+
+TEST(Table1, DdiKeepsExactPaperDimensions)
+{
+    const auto& e = table1ByAbbr("ddi");
+    CsrMatrix m = e.make();
+    EXPECT_EQ(m.rows(), 4267); // must stay under SparTA's scaled limit
+}
+
+TEST(Table1, LookupUnknownThrows)
+{
+    EXPECT_THROW(table1ByAbbr("nope"), std::invalid_argument);
+}
+
+TEST(Table1, GnnCaseStudyHasFourGraphs)
+{
+    const auto& entries = gnnCaseStudyEntries();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries[2].abbr, "IGB-tiny");
+    CsrMatrix igb = entries[2].make();
+    EXPECT_NO_THROW(igb.validate());
+    EXPECT_GT(igb.nnz(), 100000);
+}
+
+TEST(Collection, DefaultHas414Entries)
+{
+    auto entries = makeCollection();
+    EXPECT_EQ(entries.size(), 414u);
+}
+
+TEST(Collection, CoversAllStructureClasses)
+{
+    auto entries = makeCollection(12);
+    bool seen[6] = {};
+    for (const auto& e : entries)
+        seen[static_cast<int>(e.klass)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Collection, EntriesBuildValidSquareMatrices)
+{
+    auto entries = makeCollection(12);
+    for (const auto& e : entries) {
+        CsrMatrix m = e.make();
+        EXPECT_NO_THROW(m.validate()) << e.name;
+        EXPECT_EQ(m.rows(), m.cols()) << e.name;
+        EXPECT_GT(m.nnz(), 10000) << e.name;
+    }
+}
+
+TEST(Collection, DeterministicBySeed)
+{
+    auto a = makeCollection(5);
+    auto b = makeCollection(5);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_TRUE(a[i].make() == b[i].make());
+    }
+}
+
+TEST(Collection, RandomPermutationIsPermutation)
+{
+    Rng rng(10);
+    auto perm = randomPermutation(1000, rng);
+    EXPECT_TRUE(isPermutation(perm, 1000));
+}
+
+} // namespace
+} // namespace dtc

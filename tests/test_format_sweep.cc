@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Round-trip and cross-format property sweeps: every condensed
+ * format must reconstruct the original matrix for every generator
+ * class (parameterized), and the format family must agree on
+ * fundamental counts.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/bell.h"
+#include "formats/cvse.h"
+#include "formats/me_tcf.h"
+#include "formats/sgt.h"
+#include "formats/tcf.h"
+
+namespace dtc {
+namespace {
+
+enum class Gen { Uniform, PowerLaw, Community, Banded, BlockDiag,
+                 Components };
+
+const char*
+genName(Gen g)
+{
+    switch (g) {
+      case Gen::Uniform:
+        return "Uniform";
+      case Gen::PowerLaw:
+        return "PowerLaw";
+      case Gen::Community:
+        return "Community";
+      case Gen::Banded:
+        return "Banded";
+      case Gen::BlockDiag:
+        return "BlockDiag";
+      case Gen::Components:
+        return "Components";
+    }
+    return "?";
+}
+
+CsrMatrix
+makeMatrix(Gen g, Rng& rng)
+{
+    switch (g) {
+      case Gen::Uniform:
+        return genUniform(311, 7.0, rng);
+      case Gen::PowerLaw:
+        return genPowerLaw(293, 6.0, 1.4, rng);
+      case Gen::Community:
+        return genCommunity(320, 5, 18.0, 0.9, rng);
+      case Gen::Banded:
+        return genBanded(307, 9, 5.0, rng);
+      case Gen::BlockDiag:
+        return genBlockDiagonal(288, 24, 0.3, rng);
+      case Gen::Components:
+        return genComponents(301, 5, 19, 0.3, rng);
+    }
+    return CsrMatrix();
+}
+
+class FormatSweep : public ::testing::TestWithParam<Gen>
+{
+  protected:
+    CsrMatrix
+    matrix()
+    {
+        Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 5);
+        return shuffleLabels(makeMatrix(GetParam(), rng), rng);
+    }
+};
+
+TEST_P(FormatSweep, MeTcfRoundTrips)
+{
+    CsrMatrix m = matrix();
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_TRUE(m == t.toCsr());
+}
+
+TEST_P(FormatSweep, TcfAndMeTcfAgreeOnBlockCounts)
+{
+    CsrMatrix m = matrix();
+    TcfMatrix tcf = TcfMatrix::build(m);
+    MeTcfMatrix me = MeTcfMatrix::build(m);
+    EXPECT_EQ(tcf.numTcBlocks(), me.numTcBlocks());
+    EXPECT_DOUBLE_EQ(tcf.meanNnzTc(), me.meanNnzTc());
+}
+
+TEST_P(FormatSweep, MeTcfAlwaysSmallerThanTcf)
+{
+    CsrMatrix m = matrix();
+    EXPECT_LT(MeTcfMatrix::build(m).indexElementCount(),
+              TcfMatrix::build(m).indexElementCount());
+}
+
+TEST_P(FormatSweep, BellPreservesNnz)
+{
+    CsrMatrix m = matrix();
+    auto res = bellTryBuild(m, 16, 1ll << 40);
+    ASSERT_FALSE(res.oom);
+    EXPECT_EQ(res.matrix.nnz(), m.nnz());
+    EXPECT_GT(res.matrix.fillEfficiency(), 0.0);
+    EXPECT_LE(res.matrix.fillEfficiency(), 1.0);
+}
+
+TEST_P(FormatSweep, CvseCountsConsistent)
+{
+    CsrMatrix m = matrix();
+    CvseMatrix v = CvseMatrix::build(m, 8);
+    EXPECT_EQ(v.nnz(), m.nnz());
+    EXPECT_EQ(v.panelOffset().back(), v.numVectors());
+    EXPECT_EQ(static_cast<int64_t>(v.values().size()),
+              v.numVectors() * 8);
+}
+
+TEST_P(FormatSweep, SgtBlockBoundsHold)
+{
+    // NumTCBlocks is bounded below by ceil(distinct/8) per window
+    // and above by NNZ (each block holds >= 1 nonzero).
+    CsrMatrix m = matrix();
+    SgtResult r = sgtCondense(m);
+    EXPECT_LE(r.numTcBlocks, m.nnz());
+    EXPECT_GE(r.meanNnzTc, 1.0 - 1e-9);
+    EXPECT_LE(r.meanNnzTc, 128.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, FormatSweep,
+    ::testing::Values(Gen::Uniform, Gen::PowerLaw, Gen::Community,
+                      Gen::Banded, Gen::BlockDiag, Gen::Components),
+    [](const ::testing::TestParamInfo<Gen>& info) {
+        return genName(info.param);
+    });
+
+} // namespace
+} // namespace dtc

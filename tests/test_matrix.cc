@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for matrix types: COO canonicalization/symmetrization,
+ * CSR construction, transpose, permutations, stats.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "matrix/coo.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+#include "matrix/stats.h"
+
+namespace dtc {
+namespace {
+
+CooMatrix
+smallCoo()
+{
+    CooMatrix coo(4, 4);
+    coo.add(0, 1, 1.0f);
+    coo.add(2, 3, 2.0f);
+    coo.add(0, 1, 0.5f); // duplicate of (0,1)
+    coo.add(3, 0, 3.0f);
+    coo.add(1, 1, 4.0f);
+    return coo;
+}
+
+TEST(Coo, CanonicalizeSortsAndMerges)
+{
+    CooMatrix coo = smallCoo();
+    coo.canonicalize();
+    ASSERT_EQ(coo.nnz(), 4);
+    EXPECT_EQ(coo.rowIndices()[0], 0);
+    EXPECT_EQ(coo.colIndices()[0], 1);
+    EXPECT_FLOAT_EQ(coo.values()[0], 1.5f); // merged duplicate
+    // Sorted by (row, col).
+    for (int64_t i = 1; i < coo.nnz(); ++i) {
+        EXPECT_TRUE(coo.rowIndices()[i - 1] < coo.rowIndices()[i] ||
+                    (coo.rowIndices()[i - 1] == coo.rowIndices()[i] &&
+                     coo.colIndices()[i - 1] < coo.colIndices()[i]));
+    }
+}
+
+TEST(Coo, AddOutOfRangeThrows)
+{
+    CooMatrix coo(2, 2);
+    EXPECT_THROW(coo.add(2, 0, 1.0f), std::invalid_argument);
+    EXPECT_THROW(coo.add(0, -1, 1.0f), std::invalid_argument);
+}
+
+TEST(Coo, SymmetrizeMirrorsOffDiagonal)
+{
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 2.0f);
+    coo.add(2, 2, 5.0f);
+    coo.symmetrize();
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(m.nnz(), 3); // (0,1), (1,0), (2,2)
+    auto d = m.toDense();
+    EXPECT_FLOAT_EQ(d[0 * 3 + 1], 2.0f);
+    EXPECT_FLOAT_EQ(d[1 * 3 + 0], 2.0f);
+    EXPECT_FLOAT_EQ(d[2 * 3 + 2], 5.0f);
+}
+
+TEST(Csr, FromCooBuildsSortedRows)
+{
+    CsrMatrix m = CsrMatrix::fromCoo(smallCoo());
+    EXPECT_EQ(m.rows(), 4);
+    EXPECT_EQ(m.nnz(), 4);
+    EXPECT_NO_THROW(m.validate());
+    EXPECT_EQ(m.rowLength(0), 1);
+    EXPECT_EQ(m.rowLength(1), 1);
+    EXPECT_EQ(m.rowLength(2), 1);
+    EXPECT_EQ(m.rowLength(3), 1);
+}
+
+TEST(Csr, RoundTripThroughCoo)
+{
+    Rng rng(1);
+    CsrMatrix m = genUniform(200, 6.0, rng);
+    CsrMatrix back = CsrMatrix::fromCoo(m.toCoo());
+    EXPECT_TRUE(m == back);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity)
+{
+    Rng rng(2);
+    CsrMatrix m = genPowerLaw(300, 5.0, 1.2, rng);
+    CsrMatrix t = m.transposed();
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_TRUE(m == t.transposed());
+}
+
+TEST(Csr, TransposeMatchesDense)
+{
+    CsrMatrix m = CsrMatrix::fromCoo(smallCoo());
+    auto d = m.toDense();
+    auto dt = m.transposed().toDense();
+    for (int64_t r = 0; r < 4; ++r)
+        for (int64_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(d[r * 4 + c], dt[c * 4 + r]);
+}
+
+TEST(Csr, PermuteRowsMovesRows)
+{
+    CsrMatrix m = CsrMatrix::fromCoo(smallCoo());
+    std::vector<int32_t> perm{3, 2, 1, 0};
+    CsrMatrix p = m.permuteRows(perm);
+    EXPECT_NO_THROW(p.validate());
+    auto d = m.toDense();
+    auto dp = p.toDense();
+    for (int64_t r = 0; r < 4; ++r)
+        for (int64_t c = 0; c < 4; ++c)
+            EXPECT_FLOAT_EQ(dp[r * 4 + c], d[perm[r] * 4 + c]);
+}
+
+TEST(Csr, PermuteSymmetricRelabels)
+{
+    Rng rng(3);
+    CsrMatrix m = genUniform(50, 4.0, rng);
+    auto perm = randomPermutation(50, rng);
+    CsrMatrix p = m.permuteSymmetric(perm);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.nnz(), m.nnz());
+    auto d = m.toDense();
+    auto dp = p.toDense();
+    for (int64_t r = 0; r < 50; ++r)
+        for (int64_t c = 0; c < 50; ++c)
+            EXPECT_FLOAT_EQ(dp[r * 50 + c],
+                            d[perm[r] * 50 + perm[c]]);
+}
+
+TEST(Csr, PermuteSymmetricPreservesPatternSymmetry)
+{
+    Rng rng(4);
+    CsrMatrix m = genUniform(64, 5.0, rng); // symmetrized by generator
+    auto perm = randomPermutation(64, rng);
+    CsrMatrix p = m.permuteSymmetric(perm);
+    CsrMatrix pt = p.transposed();
+    // Structure symmetric: pattern of p == pattern of p^T.
+    EXPECT_EQ(p.rowPtr(), pt.rowPtr());
+    EXPECT_EQ(p.colIdx(), pt.colIdx());
+}
+
+TEST(Csr, FromPartsValidates)
+{
+    EXPECT_THROW(CsrMatrix::fromParts(2, 2, {0, 1}, {0}, {1.0f}),
+                 std::logic_error); // rowPtr too short
+    EXPECT_THROW(
+        CsrMatrix::fromParts(2, 2, {0, 1, 2}, {0, 5}, {1.0f, 1.0f}),
+        std::logic_error); // column out of range
+    EXPECT_NO_THROW(
+        CsrMatrix::fromParts(2, 2, {0, 1, 2}, {0, 1}, {1.0f, 1.0f}));
+}
+
+TEST(Csr, IndexElementCountMatchesFormula)
+{
+    Rng rng(5);
+    CsrMatrix m = genUniform(100, 4.0, rng);
+    EXPECT_EQ(m.indexElementCount(), m.rows() + 1 + m.nnz());
+}
+
+TEST(Dense, FillAndTranspose)
+{
+    DenseMatrix m(3, 2);
+    m.at(0, 1) = 5.0f;
+    m.at(2, 0) = -1.0f;
+    DenseMatrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 2);
+    EXPECT_EQ(t.cols(), 3);
+    EXPECT_FLOAT_EQ(t.at(1, 0), 5.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 2), -1.0f);
+}
+
+TEST(Dense, MaxAbsDiff)
+{
+    DenseMatrix a(2, 2), b(2, 2);
+    a.at(1, 1) = 3.0f;
+    b.at(1, 1) = 2.5f;
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.5);
+}
+
+TEST(Stats, ComputesRowLengthStatistics)
+{
+    CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 1, 1.0f);
+    coo.add(0, 2, 1.0f);
+    coo.add(1, 0, 1.0f);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    MatrixStats s = computeStats(m);
+    EXPECT_EQ(s.nnz, 4);
+    EXPECT_DOUBLE_EQ(s.avgRowLength, 1.0);
+    EXPECT_EQ(s.maxRowLength, 3);
+    EXPECT_EQ(s.minRowLength, 0);
+    EXPECT_EQ(s.emptyRows, 2);
+    EXPECT_GT(s.rowLengthCv, 1.0);
+}
+
+TEST(Stats, UniformMatrixLowCv)
+{
+    Rng rng(6);
+    CsrMatrix m = genUniform(2000, 16.0, rng);
+    MatrixStats s = computeStats(m);
+    EXPECT_NEAR(s.avgRowLength, 16.0, 2.0);
+    EXPECT_LT(s.rowLengthCv, 0.5);
+}
+
+TEST(Stats, PowerLawHighCv)
+{
+    Rng rng(7);
+    CsrMatrix m = genPowerLaw(2000, 16.0, 1.5, rng);
+    MatrixStats s = computeStats(m);
+    EXPECT_GT(s.rowLengthCv, 1.0);
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for ME-TCF: structural invariants, round trip to CSR,
+ * memory accounting vs TCF and CSR (Observation 1 / Section 5.3),
+ * block expansion.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "datasets/table1.h"
+#include "formats/me_tcf.h"
+#include "formats/tcf.h"
+#include "reorder/tca.h"
+
+namespace dtc {
+namespace {
+
+TEST(MeTcf, ValidatesOnRandomMatrices)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 5; ++trial) {
+        CsrMatrix m = genUniform(257 + trial * 31, 7.0, rng);
+        MeTcfMatrix t = MeTcfMatrix::build(m);
+        EXPECT_NO_THROW(t.validate());
+    }
+}
+
+TEST(MeTcf, RoundTripsToCsr)
+{
+    Rng rng(2);
+    CsrMatrix m = genPowerLaw(500, 9.0, 1.3, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    CsrMatrix back = t.toCsr();
+    EXPECT_TRUE(m == back);
+}
+
+TEST(MeTcf, RoundTripsCommunityMatrix)
+{
+    Rng rng(3);
+    CsrMatrix m = genCommunity(512, 8, 24.0, 0.85, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    EXPECT_TRUE(m == t.toCsr());
+}
+
+TEST(MeTcf, LocalIdsStrictlyIncreasePerBlock)
+{
+    Rng rng(4);
+    CsrMatrix m = genUniform(300, 10.0, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    for (int64_t b = 0; b < t.numTcBlocks(); ++b) {
+        for (int64_t k = t.tcOffset()[b] + 1; k < t.tcOffset()[b + 1];
+             ++k)
+            EXPECT_LT(t.tcLocalId()[k - 1], t.tcLocalId()[k]);
+    }
+}
+
+TEST(MeTcf, LocalIdsFitInSevenBits)
+{
+    // 16x8 blocks: the largest local index is 127, within uint8.
+    Rng rng(5);
+    CsrMatrix m = genUniform(300, 10.0, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    for (uint8_t id : t.tcLocalId())
+        EXPECT_LT(id, 128);
+}
+
+TEST(MeTcf, IndexElementCountFormula)
+{
+    Rng rng(6);
+    CsrMatrix m = genUniform(400, 8.0, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    const int64_t expect = (m.rows() + 15) / 16 + 1 +
+                           t.numTcBlocks() + 1 +
+                           t.numTcBlocks() * 8 + (m.nnz() + 3) / 4;
+    EXPECT_EQ(t.indexElementCount(), expect);
+}
+
+TEST(MeTcf, FarSmallerThanTcf)
+{
+    Rng rng(7);
+    CsrMatrix m = genUniform(1000, 8.0, rng);
+    MeTcfMatrix me = MeTcfMatrix::build(m);
+    TcfMatrix tcf = TcfMatrix::build(m);
+    EXPECT_LT(me.indexElementCount(), tcf.indexElementCount() / 2);
+}
+
+TEST(MeTcf, NearCsrFootprintOnTable1Analogs)
+{
+    // Section 5.3: before reordering ME-TCF is ~6% below CSR; allow
+    // a generous band but require the same ballpark.
+    Rng rng(8);
+    CsrMatrix m = table1ByAbbr("DD").make();
+    MeTcfMatrix me = MeTcfMatrix::build(m);
+    const double ratio =
+        static_cast<double>(me.indexElementCount()) /
+        static_cast<double>(m.indexElementCount());
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(MeTcf, ReorderingShrinksFootprint)
+{
+    // TCA raises MeanNnzTC => fewer blocks => smaller SparseAtoB.
+    Rng rng(9);
+    CsrMatrix m = genCommunity(2048, 32, 24.0, 0.9, rng);
+    m = shuffleLabels(m, rng);
+    MeTcfMatrix before = MeTcfMatrix::build(m);
+    TcaParams params;
+    auto perm = tcaReorder(m, params).permutation;
+    MeTcfMatrix after = MeTcfMatrix::build(m.permuteRows(perm));
+    EXPECT_LT(after.indexElementCount(), before.indexElementCount());
+}
+
+TEST(MeTcf, ExpandBlockReconstructsTile)
+{
+    Rng rng(10);
+    CsrMatrix m = genUniform(64, 6.0, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    auto dense = m.toDense();
+    float tile[16 * 8];
+    for (int64_t w = 0; w < t.numWindows(); ++w) {
+        for (int64_t b = t.rowWindowOffset()[w];
+             b < t.rowWindowOffset()[w + 1]; ++b) {
+            t.expandBlock(b, tile);
+            for (int lr = 0; lr < 16; ++lr) {
+                for (int lc = 0; lc < 8; ++lc) {
+                    const int64_t row = w * 16 + lr;
+                    const int32_t col = t.sparseAtoB()[b * 8 + lc];
+                    const float expect =
+                        (row < m.rows() &&
+                         col != MeTcfMatrix::kPadColumn)
+                            ? dense[row * m.cols() + col]
+                            : 0.0f;
+                    EXPECT_FLOAT_EQ(tile[lr * 8 + lc], expect);
+                }
+            }
+        }
+    }
+}
+
+TEST(MeTcf, SparseAtoBPadsOnlyTailLanes)
+{
+    Rng rng(11);
+    CsrMatrix m = genUniform(128, 5.0, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    for (int64_t b = 0; b < t.numTcBlocks(); ++b) {
+        bool seen_pad = false;
+        for (int lane = 0; lane < 8; ++lane) {
+            const bool pad =
+                t.sparseAtoB()[b * 8 + lane] == MeTcfMatrix::kPadColumn;
+            if (seen_pad)
+                EXPECT_TRUE(pad); // pads are a suffix
+            seen_pad |= pad;
+        }
+    }
+}
+
+TEST(MeTcf, MeanNnzTcMatchesSgt)
+{
+    Rng rng(12);
+    CsrMatrix m = genCommunity(600, 6, 16.0, 0.8, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    SgtResult s = sgtCondense(m);
+    EXPECT_DOUBLE_EQ(t.meanNnzTc(), s.meanNnzTc);
+    EXPECT_EQ(t.numTcBlocks(), s.numTcBlocks);
+}
+
+TEST(MeTcf, RejectsOversizedBlocks)
+{
+    CsrMatrix m(16, 16);
+    TcBlockShape shape;
+    shape.windowHeight = 32;
+    shape.blockWidth = 16; // 512 > 256 local ids
+    EXPECT_THROW(MeTcfMatrix::build(m, shape), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for Matrix Market I/O: parsing, symmetric expansion,
+ * pattern handling, round trips, malformed inputs.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "matrix/csr.h"
+#include "matrix/mm_io.h"
+
+namespace dtc {
+namespace {
+
+TEST(MmIo, ParsesGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 4 2\n"
+        "1 2 1.5\n"
+        "3 4 -2.0\n");
+    CooMatrix coo = readMatrixMarket(in);
+    EXPECT_EQ(coo.rows(), 3);
+    EXPECT_EQ(coo.cols(), 4);
+    EXPECT_EQ(coo.nnz(), 2);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    auto d = m.toDense();
+    EXPECT_FLOAT_EQ(d[0 * 4 + 1], 1.5f);
+    EXPECT_FLOAT_EQ(d[2 * 4 + 3], -2.0f);
+}
+
+TEST(MmIo, SymmetricExpandsBothTriangles)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 4.0\n"
+        "3 3 7.0\n");
+    CooMatrix coo = readMatrixMarket(in);
+    CsrMatrix m = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(m.nnz(), 3); // (1,0), (0,1), (2,2)
+    auto d = m.toDense();
+    EXPECT_FLOAT_EQ(d[1 * 3 + 0], 4.0f);
+    EXPECT_FLOAT_EQ(d[0 * 3 + 1], 4.0f);
+    EXPECT_FLOAT_EQ(d[2 * 3 + 2], 7.0f);
+}
+
+TEST(MmIo, PatternEntriesGetUnitValues)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 1\n"
+        "2 2\n");
+    CooMatrix coo = readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(coo.values()[0], 1.0f);
+    EXPECT_FLOAT_EQ(coo.values()[1], 1.0f);
+}
+
+TEST(MmIo, IntegerFieldAccepted)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n"
+        "2 1 -3\n");
+    CooMatrix coo = readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(coo.values()[0], -3.0f);
+}
+
+TEST(MmIo, RejectsMissingBanner)
+{
+    std::istringstream in("3 3 0\n");
+    EXPECT_THROW(readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST(MmIo, RejectsUnsupportedFormat)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW(readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST(MmIo, RejectsOutOfRangeEntry)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST(MmIo, RejectsTruncatedFile)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST(MmIo, WriteReadRoundTrip)
+{
+    Rng rng(11);
+    CsrMatrix m = genUniform(64, 5.0, rng);
+    std::ostringstream out;
+    writeMatrixMarket(out, m.toCoo());
+    std::istringstream in(out.str());
+    CsrMatrix back = CsrMatrix::fromCoo(readMatrixMarket(in));
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.nnz(), m.nnz());
+    EXPECT_EQ(back.rowPtr(), m.rowPtr());
+    EXPECT_EQ(back.colIdx(), m.colIdx());
+    // Values pass through text formatting; compare loosely.
+    for (int64_t i = 0; i < m.nnz(); ++i)
+        EXPECT_NEAR(back.values()[i], m.values()[i], 1e-4f);
+}
+
+TEST(MmIo, FileRoundTrip)
+{
+    Rng rng(12);
+    CsrMatrix m = genBanded(32, 4, 3.0, rng);
+    const std::string path = "/tmp/dtc_mmio_test.mtx";
+    writeMatrixMarketFile(path, m.toCoo());
+    CsrMatrix back = CsrMatrix::fromCoo(readMatrixMarketFile(path));
+    EXPECT_EQ(back.rowPtr(), m.rowPtr());
+    EXPECT_EQ(back.colIdx(), m.colIdx());
+}
+
+TEST(MmIo, MissingFileThrows)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/nope.mtx"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the multi-precision extension (the conclusion's
+ * "other precisions" future work): BF16/FP16 rounding semantics,
+ * precision-parameterized DTC kernels, error bounds ordered by
+ * mantissa width, and the FP16/BF16 rate advantage in the cost
+ * model.
+ */
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/precision.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "kernels/dtc.h"
+#include "kernels/reference.h"
+
+namespace dtc {
+namespace {
+
+TEST(Precision, Bf16DropsSixteenBits)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        float x = rng.nextFloat(-100.0f, 100.0f);
+        uint32_t bits = std::bit_cast<uint32_t>(bf16Round(x));
+        EXPECT_EQ(bits & 0xFFFFu, 0u);
+    }
+}
+
+TEST(Precision, Bf16KeepsFp32Range)
+{
+    // Unlike FP16, huge magnitudes survive (same 8-bit exponent).
+    EXPECT_TRUE(std::isfinite(bf16Round(1e38f)));
+    EXPECT_NEAR(bf16Round(1e38f) / 1e38f, 1.0, 0.01);
+    EXPECT_TRUE(std::isfinite(bf16Round(1e-38f)));
+}
+
+TEST(Precision, Fp16SaturatesAndFlushes)
+{
+    EXPECT_TRUE(std::isinf(fp16Round(70000.0f)));
+    EXPECT_TRUE(std::isinf(fp16Round(-70000.0f)));
+    EXPECT_FLOAT_EQ(fp16Round(65504.0f), 65504.0f);
+    // Subnormal range flushes to (signed) zero.
+    EXPECT_EQ(fp16Round(1e-6f), 0.0f);
+    EXPECT_EQ(std::signbit(fp16Round(-1e-6f)), true);
+}
+
+TEST(Precision, RoundToPrecisionDispatch)
+{
+    const float x = 1.2345678f;
+    EXPECT_EQ(roundToPrecision(x, Precision::Fp32), x);
+    EXPECT_EQ(roundToPrecision(x, Precision::Tf32), tf32Round(x));
+    EXPECT_EQ(roundToPrecision(x, Precision::Bf16), bf16Round(x));
+    EXPECT_EQ(roundToPrecision(x, Precision::Fp16), fp16Round(x));
+}
+
+TEST(Precision, UnitRoundoffOrdering)
+{
+    EXPECT_LT(unitRoundoff(Precision::Tf32),
+              unitRoundoff(Precision::Bf16));
+    EXPECT_DOUBLE_EQ(unitRoundoff(Precision::Tf32),
+                     unitRoundoff(Precision::Fp16));
+    EXPECT_DOUBLE_EQ(unitRoundoff(Precision::Fp32), 0.0);
+}
+
+TEST(Precision, RelativeErrorWithinUnitRoundoff)
+{
+    Rng rng(2);
+    for (Precision p : {Precision::Tf32, Precision::Bf16}) {
+        for (int i = 0; i < 2000; ++i) {
+            float x = rng.nextFloat(-1e4f, 1e4f);
+            if (x == 0.0f)
+                continue;
+            float r = roundToPrecision(x, p);
+            EXPECT_LE(std::abs(r - x) / std::abs(x),
+                      unitRoundoff(p) + 1e-12)
+                << precisionName(p);
+        }
+    }
+}
+
+int64_t
+computeMaxRow(const CsrMatrix& a)
+{
+    int64_t mx = 0;
+    for (int64_t r = 0; r < a.rows(); ++r)
+        mx = std::max(mx, a.rowLength(r));
+    return mx;
+}
+
+class DtcPrecision : public ::testing::TestWithParam<Precision>
+{};
+
+TEST_P(DtcPrecision, KernelMatchesPrecisionReference)
+{
+    const Precision prec = GetParam();
+    Rng rng(3);
+    CsrMatrix a = genUniform(256, 8.0, rng);
+    DenseMatrix b(a.cols(), 16);
+    b.fillRandom(rng);
+
+    DtcOptions o;
+    o.precision = prec;
+    DtcKernel kernel(o);
+    ASSERT_EQ(kernel.prepare(a), "");
+    DenseMatrix c(a.rows(), 16);
+    kernel.compute(b, c);
+
+    // Error vs the double-precision reference must stay within a
+    // few unit roundoffs times the accumulation length.
+    DenseMatrix want(a.rows(), 16);
+    referenceSpmm(a, b, want);
+    const double bound =
+        unitRoundoff(prec) * 3.0 *
+        (static_cast<double>(computeMaxRow(a)) + 4.0) * 16.0;
+    EXPECT_LE(c.maxAbsDiff(want), bound) << precisionName(prec);
+}
+
+TEST_P(DtcPrecision, NameCarriesPrecision)
+{
+    const Precision prec = GetParam();
+    DtcOptions o;
+    o.precision = prec;
+    DtcKernel kernel(o);
+    if (prec == Precision::Tf32) {
+        EXPECT_EQ(kernel.name().find("<"), std::string::npos);
+    } else {
+        EXPECT_NE(kernel.name().find(precisionName(prec)),
+                  std::string::npos);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, DtcPrecision,
+                         ::testing::Values(Precision::Tf32,
+                                           Precision::Bf16,
+                                           Precision::Fp16),
+                         [](const auto& info) {
+                             return precisionName(info.param);
+                         });
+
+TEST(Precision, Fp16HalvesTensorCoreTime)
+{
+    Rng rng(4);
+    CsrMatrix a = genCommunity(2048, 8, 60.0, 0.85, rng);
+    CostModel cm(ArchSpec::rtx4090());
+
+    DtcOptions tf32;
+    tf32.mode = DtcOptions::Mode::Base;
+    DtcKernel k32(tf32);
+    ASSERT_EQ(k32.prepare(a), "");
+
+    DtcOptions fp16 = tf32;
+    fp16.precision = Precision::Fp16;
+    DtcKernel k16(fp16);
+    ASSERT_EQ(k16.prepare(a), "");
+
+    LaunchResult r32 = k32.cost(128, cm);
+    LaunchResult r16 = k16.cost(128, cm);
+    // Half the HMMA residency; total time improves but less than 2x
+    // (memory does not shrink).
+    EXPECT_NEAR(r16.totalHmma, r32.totalHmma / 2.0, 1e-6);
+    EXPECT_LT(r16.timeMs, r32.timeMs);
+    EXPECT_GT(r16.timeMs, r32.timeMs / 2.0);
+}
+
+TEST(Precision, Fp32RejectedByTensorKernel)
+{
+    DtcOptions o;
+    o.precision = Precision::Fp32;
+    DtcKernel kernel(o);
+    CsrMatrix a(16, 16);
+    EXPECT_NE(kernel.prepare(a), "");
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the reordering stack: MinHash/LSH/Jaccard, TCA
+ * (both hierarchies), Louvain, METIS-like partitioning, classic
+ * orderings, and the Fig. 13 relationships (TCA raises MeanNnzTC
+ * above the baselines).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/sgt.h"
+#include "matrix/coo.h"
+#include "reorder/louvain.h"
+#include "reorder/metis_like.h"
+#include "reorder/minhash.h"
+#include "reorder/orderings.h"
+#include "reorder/tca.h"
+
+namespace dtc {
+namespace {
+
+TEST(MinHash, IdenticalSetsIdenticalSignatures)
+{
+    MinHasher h(16, 1);
+    std::vector<int32_t> a{3, 7, 19, 42};
+    std::vector<uint32_t> sa(16), sb(16);
+    h.signature(a.data(), a.data() + a.size(), sa.data());
+    h.signature(a.data(), a.data() + a.size(), sb.data());
+    EXPECT_EQ(sa, sb);
+}
+
+TEST(MinHash, SignatureAgreementTracksJaccard)
+{
+    MinHasher h(128, 2);
+    std::vector<int32_t> a, b;
+    for (int32_t i = 0; i < 100; ++i)
+        a.push_back(i);
+    for (int32_t i = 50; i < 150; ++i)
+        b.push_back(i); // Jaccard = 50/150 = 1/3
+    std::vector<uint32_t> sa(128), sb(128);
+    h.signature(a.data(), a.data() + a.size(), sa.data());
+    h.signature(b.data(), b.data() + b.size(), sb.data());
+    int agree = 0;
+    for (int i = 0; i < 128; ++i)
+        if (sa[i] == sb[i])
+            agree++;
+    EXPECT_NEAR(agree / 128.0, 1.0 / 3.0, 0.12);
+}
+
+TEST(MinHash, EmptySetSignatureIsSentinel)
+{
+    MinHasher h(8, 3);
+    std::vector<uint32_t> s(8);
+    h.signature(nullptr, nullptr, s.data());
+    for (uint32_t v : s)
+        EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+}
+
+TEST(Jaccard, ExactValues)
+{
+    std::vector<int32_t> a{1, 2, 3, 4};
+    std::vector<int32_t> b{3, 4, 5, 6};
+    EXPECT_DOUBLE_EQ(jaccardSorted(a.data(), a.data() + 4, b.data(),
+                                   b.data() + 4),
+                     2.0 / 6.0);
+    EXPECT_DOUBLE_EQ(jaccardSorted(a.data(), a.data() + 4, a.data(),
+                                   a.data() + 4),
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        jaccardSorted(a.data(), a.data(), b.data(), b.data()), 0.0);
+}
+
+TEST(Lsh, FindsSimilarPairs)
+{
+    // Two groups of near-identical sets must produce in-group pairs.
+    MinHasher h(32, 4);
+    std::vector<std::vector<int32_t>> sets;
+    for (int g = 0; g < 2; ++g) {
+        for (int i = 0; i < 4; ++i) {
+            std::vector<int32_t> s;
+            for (int32_t c = 0; c < 30; ++c)
+                s.push_back(g * 1000 + c);
+            s.push_back(g * 1000 + 100 + i); // tiny difference
+            sets.push_back(s);
+        }
+    }
+    std::vector<uint32_t> sigs(sets.size() * 32);
+    for (size_t i = 0; i < sets.size(); ++i)
+        h.signature(sets[i].data(), sets[i].data() + sets[i].size(),
+                    sigs.data() + i * 32);
+    auto pairs = lshCandidatePairs(sigs, sets.size(), 32, 8, 1000);
+    EXPECT_FALSE(pairs.empty());
+    for (auto [a, b] : pairs)
+        EXPECT_EQ(a / 4, b / 4); // never across groups
+}
+
+TEST(Tca, PermutationIsValid)
+{
+    Rng rng(1);
+    CsrMatrix m = shuffleLabels(genCommunity(512, 8, 16.0, 0.9, rng),
+                                rng);
+    TcaResult r = tcaReorder(m);
+    EXPECT_TRUE(isPermutation(r.permutation, m.rows()));
+    EXPECT_GT(r.numClusters, 0);
+}
+
+TEST(Tca, RecoversPlantedRowGroups)
+{
+    // 32 groups of 16 identical-pattern rows, shuffled: TCA should
+    // push MeanNnzTC back near the unshuffled value.
+    Rng rng(2);
+    CooMatrix coo(512, 512);
+    for (int32_t g = 0; g < 32; ++g) {
+        for (int32_t i = 0; i < 16; ++i) {
+            for (int32_t c = 0; c < 8; ++c)
+                coo.add(g * 16 + i, g * 16 + c, 1.0f);
+        }
+    }
+    CsrMatrix ideal = CsrMatrix::fromCoo(coo);
+    const double ideal_mean = sgtCondense(ideal).meanNnzTc;
+
+    CsrMatrix shuffled = shuffleLabels(ideal, rng);
+    const double shuffled_mean = sgtCondense(shuffled).meanNnzTc;
+    EXPECT_LT(shuffled_mean, ideal_mean * 0.6);
+
+    auto perm = tcaReorder(shuffled).permutation;
+    const double recovered =
+        sgtCondense(shuffled.permuteRows(perm)).meanNnzTc;
+    EXPECT_GT(recovered, shuffled_mean * 1.5);
+    EXPECT_GT(recovered, ideal_mean * 0.7);
+}
+
+TEST(Tca, ImprovesMeanNnzTcOnCommunityGraphs)
+{
+    Rng rng(3);
+    CsrMatrix m = shuffleLabels(
+        genCommunity(2048, 32, 40.0, 0.95, rng), rng);
+    const double before = sgtCondense(m).meanNnzTc;
+    auto perm = tcaReorder(m).permutation;
+    const double after =
+        sgtCondense(m.permuteRows(perm)).meanNnzTc;
+    EXPECT_GT(after, before * 1.1);
+}
+
+TEST(Tca, CompetitiveOnUniformCommunities)
+{
+    // On idealized equal-similarity communities any community-pure
+    // grouping (Louvain, LSH64) is near-optimal; TCA must land in
+    // the same band and clearly beat structure-blind orderings.
+    Rng rng(4);
+    CsrMatrix m = shuffleLabels(
+        genCommunity(2048, 32, 40.0, 0.95, rng), rng);
+    auto mean = [&](ReorderMethod method) {
+        auto perm = computeReordering(m, method);
+        return sgtCondense(m.permuteRows(perm)).meanNnzTc;
+    };
+    const double tca = mean(ReorderMethod::Tca);
+    EXPECT_GE(tca, mean(ReorderMethod::Metis) * 0.9);
+    EXPECT_GE(tca, mean(ReorderMethod::Louvain) * 0.9);
+    EXPECT_GE(tca, mean(ReorderMethod::Lsh64) * 0.9);
+    EXPECT_GT(tca, 2.0 * mean(ReorderMethod::Identity));
+}
+
+TEST(Tca, BeatsLsh64OnGradedSimilarity)
+{
+    // Fig. 13a's mechanism: when similarity is graded — 16-row
+    // sub-groups (Jaccard 1.0 inside) nested in 64-row super-groups
+    // (Jaccard ~0.33 across sub-groups) — a 64-row cluster limit
+    // merges across sub-groups and dilutes the windows, while TCA's
+    // 16-row limit keeps windows sub-group-pure.
+    Rng rng(5);
+    CooMatrix coo(2048, 2048);
+    for (int32_t sg = 0; sg < 32; ++sg) {      // super-groups
+        for (int32_t sub = 0; sub < 4; ++sub) { // sub-groups of 16
+            for (int32_t i = 0; i < 16; ++i) {
+                const int32_t row = sg * 64 + sub * 16 + i;
+                for (int32_t c = 0; c < 8; ++c) {
+                    coo.add(row, sg * 64 + c, 1.0f); // shared cols
+                    coo.add(row, sg * 64 + 8 + sub * 8 + c,
+                            1.0f); // sub-group cols
+                }
+            }
+        }
+    }
+    CsrMatrix m = shuffleLabels(CsrMatrix::fromCoo(coo), rng);
+    auto mean = [&](ReorderMethod method) {
+        auto perm = computeReordering(m, method);
+        return sgtCondense(m.permuteRows(perm)).meanNnzTc;
+    };
+    const double tca = mean(ReorderMethod::Tca);
+    const double lsh64 = mean(ReorderMethod::Lsh64);
+    EXPECT_GT(tca, lsh64 * 1.2);
+    EXPECT_GT(tca, mean(ReorderMethod::Identity) * 2.0);
+}
+
+TEST(Tca, TcuOnlySkipsHierarchyTwo)
+{
+    Rng rng(5);
+    CsrMatrix m = shuffleLabels(
+        genCommunity(1024, 16, 24.0, 0.9, rng), rng);
+    TcaParams p;
+    p.cacheAware = false;
+    TcaResult r = tcaReorder(m, p);
+    EXPECT_TRUE(isPermutation(r.permutation, m.rows()));
+    EXPECT_EQ(r.numSuperClusters, r.numClusters);
+    EXPECT_EQ(r.candidatePairsH2, 0);
+}
+
+TEST(Tca, EmptyAndTinyMatrices)
+{
+    CsrMatrix empty(0, 0);
+    EXPECT_TRUE(tcaReorder(empty).permutation.empty());
+    CsrMatrix one(1, 1);
+    auto r = tcaReorder(one);
+    EXPECT_TRUE(isPermutation(r.permutation, 1));
+}
+
+TEST(Louvain, FindsPlantedCommunities)
+{
+    Rng rng(6);
+    CsrMatrix m = genCommunity(1024, 8, 20.0, 0.95, rng);
+    LouvainResult r = louvainReorder(m);
+    EXPECT_TRUE(isPermutation(r.permutation, m.rows()));
+    EXPECT_GT(r.modularity, 0.5);
+    EXPECT_GE(r.numCommunities, 4);
+    EXPECT_LE(r.numCommunities, 400);
+}
+
+TEST(Louvain, CommunityLabelsConsistentWithPermutation)
+{
+    Rng rng(7);
+    CsrMatrix m = genCommunity(512, 4, 12.0, 0.9, rng);
+    LouvainResult r = louvainReorder(m);
+    // Permutation groups rows by community: labels must be
+    // non-interleaved along the permutation.
+    std::set<int32_t> closed;
+    int32_t current = -1;
+    for (int32_t row : r.permutation) {
+        int32_t c = r.community[row];
+        if (c != current) {
+            EXPECT_EQ(closed.count(c), 0u);
+            if (current >= 0)
+                closed.insert(current);
+            current = c;
+        }
+    }
+}
+
+TEST(MetisLike, ProducesValidPermutation)
+{
+    Rng rng(8);
+    CsrMatrix m = genCommunity(1024, 8, 16.0, 0.9, rng);
+    auto perm = metisLikeReorder(m);
+    EXPECT_TRUE(isPermutation(perm, m.rows()));
+}
+
+TEST(MetisLike, PartsGroupNeighbours)
+{
+    // On a strongly banded graph, partition-ordered neighbours stay
+    // close: mean |pos(u) - pos(v)| over edges far below random.
+    Rng rng(9);
+    CsrMatrix ideal = genBanded(2048, 8, 6.0, rng);
+    CsrMatrix m = shuffleLabels(ideal, rng);
+    MetisParams params;
+    params.targetPartSize = 128;
+    auto perm = metisLikeReorder(m, params);
+    std::vector<int64_t> pos(static_cast<size_t>(m.rows()));
+    for (size_t i = 0; i < perm.size(); ++i)
+        pos[perm[i]] = static_cast<int64_t>(i);
+    double dist = 0.0;
+    for (int64_t r = 0; r < m.rows(); ++r)
+        for (int64_t k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k)
+            dist += std::abs(pos[r] - pos[m.colIdx()[k]]);
+    dist /= static_cast<double>(m.nnz());
+    EXPECT_LT(dist, 2048.0 / 3.0 * 0.8); // random baseline ~n/3
+}
+
+TEST(Orderings, DegreeSortsDescending)
+{
+    Rng rng(10);
+    CsrMatrix m = genPowerLaw(512, 8.0, 1.4, rng);
+    auto perm = degreeOrder(m);
+    EXPECT_TRUE(isPermutation(perm, m.rows()));
+    for (size_t i = 1; i < perm.size(); ++i)
+        EXPECT_GE(m.rowLength(perm[i - 1]), m.rowLength(perm[i]));
+}
+
+TEST(Orderings, RcmReducesBandwidth)
+{
+    Rng rng(11);
+    CsrMatrix ideal = genBanded(1024, 6, 4.0, rng);
+    CsrMatrix m = shuffleLabels(ideal, rng);
+    auto bandwidth = [](const CsrMatrix& a) {
+        int64_t bw = 0;
+        for (int64_t r = 0; r < a.rows(); ++r)
+            for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1];
+                 ++k)
+                bw = std::max(bw, std::abs(a.colIdx()[k] - r));
+        return bw;
+    };
+    auto perm = rcmOrder(m);
+    EXPECT_TRUE(isPermutation(perm, m.rows()));
+    CsrMatrix reordered = m.permuteSymmetric(perm);
+    EXPECT_LT(bandwidth(reordered), bandwidth(m) / 4);
+}
+
+TEST(Orderings, DispatcherCoversAllMethods)
+{
+    Rng rng(12);
+    CsrMatrix m = genCommunity(256, 4, 10.0, 0.85, rng);
+    for (ReorderMethod method :
+         {ReorderMethod::Identity, ReorderMethod::Degree,
+          ReorderMethod::Rcm, ReorderMethod::Metis,
+          ReorderMethod::Louvain, ReorderMethod::Lsh64,
+          ReorderMethod::TcaTcuOnly, ReorderMethod::Tca}) {
+        auto perm = computeReordering(m, method);
+        EXPECT_TRUE(isPermutation(perm, m.rows()))
+            << reorderMethodName(method);
+    }
+}
+
+TEST(Orderings, IsPermutationRejectsBadVectors)
+{
+    EXPECT_FALSE(isPermutation({0, 0, 1}, 3));
+    EXPECT_FALSE(isPermutation({0, 1}, 3));
+    EXPECT_FALSE(isPermutation({0, 1, 3}, 3));
+    EXPECT_TRUE(isPermutation({2, 0, 1}, 3));
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the simulation-based Selector: makespan estimates,
+ * approximation ratio, threshold behaviour on balanced vs skewed
+ * inputs (paper Section 4.5).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/me_tcf.h"
+#include "selector/selector.h"
+
+namespace dtc {
+namespace {
+
+TEST(Selector, EmptyInput)
+{
+    SelectorDecision d = selectKernel(std::vector<int64_t>{},
+                                      ArchSpec::rtx4090());
+    EXPECT_FALSE(d.useBalanced);
+    EXPECT_DOUBLE_EQ(d.approximationRatio, 1.0);
+}
+
+TEST(Selector, UniformWindowsKeepBaseKernel)
+{
+    // Many equal windows: the scheduler packs them perfectly, AR ~ 1.
+    std::vector<int64_t> blocks(10000, 4);
+    SelectorDecision d = selectKernel(blocks, ArchSpec::rtx4090());
+    EXPECT_LT(d.approximationRatio, 1.2);
+    EXPECT_FALSE(d.useBalanced);
+}
+
+TEST(Selector, OneGiantWindowTriggersBalanced)
+{
+    std::vector<int64_t> blocks(2000, 1);
+    blocks[500] = 100000;
+    SelectorDecision d = selectKernel(blocks, ArchSpec::rtx4090());
+    EXPECT_GT(d.approximationRatio, 10.0);
+    EXPECT_TRUE(d.useBalanced);
+}
+
+TEST(Selector, MakespanBalancedIsIdealPacking)
+{
+    std::vector<int64_t> blocks{10, 20, 30, 40};
+    ArchSpec arch = ArchSpec::rtx4090();
+    SelectorDecision d = selectKernel(blocks, arch);
+    EXPECT_DOUBLE_EQ(d.makespanBalanced,
+                     100.0 / (arch.numSms * arch.occupancy));
+}
+
+TEST(Selector, MakespanBaseAtLeastLargestWindow)
+{
+    std::vector<int64_t> blocks{1, 2, 3, 500, 4};
+    SelectorDecision d = selectKernel(blocks, ArchSpec::rtx4090());
+    EXPECT_GE(d.makespanBase, 500.0);
+}
+
+TEST(Selector, ThresholdBoundaryRespected)
+{
+    std::vector<int64_t> blocks(2000, 1);
+    blocks[0] = 30; // mild skew
+    ArchSpec arch = ArchSpec::rtx4090();
+    SelectorDecision d = selectKernel(blocks, arch, 1.2);
+    // Whatever the AR, the decision must follow the threshold.
+    EXPECT_EQ(d.useBalanced, d.approximationRatio > 1.2);
+    // A huge threshold never balances; a tiny one always does.
+    EXPECT_FALSE(selectKernel(blocks, arch, 1e9).useBalanced);
+    EXPECT_TRUE(selectKernel(blocks, arch, 1e-9).useBalanced);
+}
+
+TEST(Selector, UniformRandomMatricesStayBase)
+{
+    // The paper calibrated the threshold on uniformly random
+    // matrices where strict balance only adds overhead.
+    // Window count must dwarf the device's slot count (as the
+    // paper's 1000 calibration matrices did), else thread-block
+    // quantization alone inflates the AR.
+    Rng rng(1);
+    for (int trial = 0; trial < 3; ++trial) {
+        CsrMatrix m = genUniform(65536, 8.0 + trial * 4.0, rng);
+        MeTcfMatrix t = MeTcfMatrix::build(m);
+        SelectorDecision d = selectKernel(t, ArchSpec::rtx4090());
+        EXPECT_FALSE(d.useBalanced) << trial;
+    }
+}
+
+TEST(Selector, SkewedPowerLawTriggersBalanced)
+{
+    Rng rng(2);
+    CsrMatrix m = genPowerLaw(8192, 60.0, 1.6, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    SelectorDecision d = selectKernel(t, ArchSpec::rtx4090());
+    EXPECT_TRUE(d.useBalanced);
+}
+
+TEST(Selector, ArchitectureChangesDecisionScale)
+{
+    // Fewer SMs -> relatively less idle waste for the same skew.
+    std::vector<int64_t> blocks(200, 1);
+    blocks[0] = 300;
+    SelectorDecision d4090 =
+        selectKernel(blocks, ArchSpec::rtx4090());
+    ArchSpec tiny = ArchSpec::rtx4090();
+    tiny.numSms = 2;
+    SelectorDecision dtiny = selectKernel(blocks, tiny);
+    EXPECT_GT(d4090.approximationRatio, dtiny.approximationRatio);
+}
+
+TEST(Selector, RejectsNonPositiveThreshold)
+{
+    EXPECT_THROW(selectKernel(std::vector<int64_t>{1},
+                              ArchSpec::rtx4090(), 0.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for binary (de)serialization of CSR and ME-TCF:
+ * round trips across matrix classes and shapes, corruption
+ * detection (magic, truncation, bit flips), file-path helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/serialize.h"
+
+namespace dtc {
+namespace {
+
+TEST(Serialize, CsrRoundTrip)
+{
+    Rng rng(1);
+    for (int which = 0; which < 3; ++which) {
+        CsrMatrix m = which == 0   ? genUniform(300, 8.0, rng)
+                      : which == 1 ? genPowerLaw(257, 6.0, 1.3, rng)
+                                   : CsrMatrix(33, 77); // empty
+        std::stringstream buf;
+        saveCsr(buf, m);
+        CsrMatrix back = loadCsr(buf);
+        EXPECT_TRUE(m == back) << which;
+    }
+}
+
+TEST(Serialize, MeTcfRoundTrip)
+{
+    Rng rng(2);
+    CsrMatrix m = genCommunity(512, 8, 24.0, 0.85, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    std::stringstream buf;
+    saveMeTcf(buf, t);
+    MeTcfMatrix back = loadMeTcf(buf);
+    EXPECT_NO_THROW(back.validate());
+    EXPECT_EQ(back.rowWindowOffset(), t.rowWindowOffset());
+    EXPECT_EQ(back.tcOffset(), t.tcOffset());
+    EXPECT_EQ(back.tcLocalId(), t.tcLocalId());
+    EXPECT_EQ(back.sparseAtoB(), t.sparseAtoB());
+    EXPECT_EQ(back.values(), t.values());
+    EXPECT_TRUE(back.toCsr() == m);
+}
+
+TEST(Serialize, MeTcfRoundTripNonDefaultShape)
+{
+    Rng rng(3);
+    CsrMatrix m = genUniform(130, 6.0, rng);
+    TcBlockShape shape;
+    shape.windowHeight = 8;
+    shape.blockWidth = 4;
+    MeTcfMatrix t = MeTcfMatrix::build(m, shape);
+    std::stringstream buf;
+    saveMeTcf(buf, t);
+    MeTcfMatrix back = loadMeTcf(buf);
+    EXPECT_EQ(back.shape().windowHeight, 8);
+    EXPECT_EQ(back.shape().blockWidth, 4);
+    EXPECT_TRUE(back.toCsr() == m);
+}
+
+TEST(Serialize, RejectsWrongMagic)
+{
+    Rng rng(4);
+    CsrMatrix m = genUniform(64, 4.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    // A CSR file is not an ME-TCF file.
+    EXPECT_THROW(loadMeTcf(buf), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    Rng rng(5);
+    CsrMatrix m = genUniform(64, 4.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    std::string data = buf.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_THROW(loadCsr(cut), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsBitFlip)
+{
+    Rng rng(6);
+    CsrMatrix m = genUniform(64, 4.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    std::string data = buf.str();
+    data[data.size() / 2] ^= 0x40; // corrupt the payload
+    std::stringstream bad(data);
+    EXPECT_THROW(loadCsr(bad), std::exception);
+}
+
+TEST(Serialize, FileHelpersRoundTrip)
+{
+    Rng rng(7);
+    CsrMatrix m = genBanded(128, 8, 4.0, rng);
+    const std::string csr_path = "/tmp/dtc_ser_test.csr";
+    const std::string me_path = "/tmp/dtc_ser_test.metcf";
+    saveCsrFile(csr_path, m);
+    EXPECT_TRUE(loadCsrFile(csr_path) == m);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    saveMeTcfFile(me_path, t);
+    EXPECT_TRUE(loadMeTcfFile(me_path).toCsr() == m);
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(loadCsrFile("/nonexistent/x.csr"),
+                 std::invalid_argument);
+    EXPECT_THROW(loadMeTcfFile("/nonexistent/x.metcf"),
+                 std::invalid_argument);
+}
+
+TEST(Serialize, ConvertOnceReuseAcrossRuns)
+{
+    // The Section 6 deployment story: convert + persist, then later
+    // runs load ME-TCF directly and skip conversion.
+    Rng rng(8);
+    CsrMatrix m = shuffleLabels(
+        genCommunity(512, 8, 20.0, 0.9, rng), rng);
+    const std::string path = "/tmp/dtc_ser_deploy.metcf";
+    saveMeTcfFile(path, MeTcfMatrix::build(m));
+
+    MeTcfMatrix loaded = loadMeTcfFile(path);
+    EXPECT_DOUBLE_EQ(loaded.meanNnzTc(),
+                     MeTcfMatrix::build(m).meanNnzTc());
+    EXPECT_TRUE(loaded.toCsr() == m);
+}
+
+} // namespace
+} // namespace dtc

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for SGT condensation: window partitioning, compressed
+ * column assignment, TC-block counts, MeanNnzTC.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/sgt.h"
+#include "matrix/coo.h"
+
+namespace dtc {
+namespace {
+
+TEST(Sgt, EmptyMatrix)
+{
+    CsrMatrix m(32, 32);
+    SgtResult r = sgtCondense(m);
+    EXPECT_EQ(r.numWindows, 2);
+    EXPECT_EQ(r.numTcBlocks, 0);
+    EXPECT_DOUBLE_EQ(r.meanNnzTc, 0.0);
+}
+
+TEST(Sgt, WindowCountCeil)
+{
+    CsrMatrix m(17, 17); // 17 rows -> 2 windows of height 16
+    SgtResult r = sgtCondense(m);
+    EXPECT_EQ(r.numWindows, 2);
+}
+
+TEST(Sgt, SingleDenseColumnGivesOneBlockPerWindow)
+{
+    // All rows share column 0: each window has 1 distinct column.
+    CooMatrix coo(32, 32);
+    for (int32_t r = 0; r < 32; ++r)
+        coo.add(r, 0, 1.0f);
+    SgtResult res = sgtCondense(CsrMatrix::fromCoo(coo));
+    EXPECT_EQ(res.numTcBlocks, 2);
+    EXPECT_DOUBLE_EQ(res.meanNnzTc, 16.0);
+}
+
+TEST(Sgt, DistinctColumnsAreSortedAndUnique)
+{
+    Rng rng(1);
+    CsrMatrix m = genUniform(200, 8.0, rng);
+    SgtResult r = sgtCondense(m);
+    for (int64_t w = 0; w < r.numWindows; ++w) {
+        const int32_t* begin = r.windowColsBegin(w);
+        const int64_t count = r.windowColCount(w);
+        for (int64_t i = 1; i < count; ++i)
+            EXPECT_LT(begin[i - 1], begin[i]);
+    }
+}
+
+TEST(Sgt, EveryNonzeroColumnAppearsInItsWindow)
+{
+    Rng rng(2);
+    CsrMatrix m = genPowerLaw(300, 6.0, 1.2, rng);
+    SgtResult r = sgtCondense(m);
+    for (int64_t row = 0; row < m.rows(); ++row) {
+        const int64_t w = row / 16;
+        const int32_t* begin = r.windowColsBegin(w);
+        const int32_t* end = begin + r.windowColCount(w);
+        for (int64_t k = m.rowPtr()[row]; k < m.rowPtr()[row + 1];
+             ++k) {
+            EXPECT_TRUE(
+                std::binary_search(begin, end, m.colIdx()[k]));
+        }
+    }
+}
+
+TEST(Sgt, BlocksPerWindowIsCeilOfDistinctOver8)
+{
+    Rng rng(3);
+    CsrMatrix m = genUniform(500, 10.0, rng);
+    SgtResult r = sgtCondense(m);
+    int64_t total = 0;
+    for (int64_t w = 0; w < r.numWindows; ++w) {
+        const int64_t expect =
+            (r.windowColCount(w) + 7) / 8;
+        EXPECT_EQ(r.blocksPerWindow[w], expect);
+        total += expect;
+    }
+    EXPECT_EQ(r.numTcBlocks, total);
+}
+
+TEST(Sgt, MeanNnzTcDefinition)
+{
+    Rng rng(4);
+    CsrMatrix m = genUniform(500, 10.0, rng);
+    SgtResult r = sgtCondense(m);
+    EXPECT_DOUBLE_EQ(r.meanNnzTc,
+                     static_cast<double>(m.nnz()) /
+                         static_cast<double>(r.numTcBlocks));
+}
+
+TEST(Sgt, CondensationBeatsNaiveColumnTiling)
+{
+    // SGT packs distinct columns leftward: the block count must never
+    // exceed what fixed 8-column tiling of the full width would use.
+    Rng rng(5);
+    CsrMatrix m = genCommunity(800, 8, 30.0, 0.9, rng);
+    SgtResult r = sgtCondense(m);
+    int64_t naive = 0;
+    for (int64_t w = 0; w < r.numWindows; ++w) {
+        // Naive: every touched 8-column stripe of the original index
+        // space becomes a block.
+        std::vector<int32_t> stripes;
+        const int32_t* begin = r.windowColsBegin(w);
+        for (int64_t i = 0; i < r.windowColCount(w); ++i)
+            stripes.push_back(begin[i] / 8);
+        stripes.erase(std::unique(stripes.begin(), stripes.end()),
+                      stripes.end());
+        naive += static_cast<int64_t>(stripes.size());
+    }
+    EXPECT_LE(r.numTcBlocks, naive);
+}
+
+TEST(Sgt, SimilarRowsGroupedRaisesMeanNnzTc)
+{
+    // 16 identical rows in one window condense to minimal blocks.
+    CooMatrix coo(16, 64);
+    for (int32_t r = 0; r < 16; ++r)
+        for (int32_t c = 0; c < 8; ++c)
+            coo.add(r, c * 8, 1.0f);
+    SgtResult res = sgtCondense(CsrMatrix::fromCoo(coo));
+    EXPECT_EQ(res.numTcBlocks, 1);
+    EXPECT_DOUBLE_EQ(res.meanNnzTc, 128.0);
+}
+
+TEST(Sgt, CustomShapeRespected)
+{
+    Rng rng(6);
+    CsrMatrix m = genUniform(128, 6.0, rng);
+    TcBlockShape shape;
+    shape.windowHeight = 8;
+    shape.blockWidth = 4;
+    SgtResult r = sgtCondense(m, shape);
+    EXPECT_EQ(r.numWindows, 16);
+    for (int64_t w = 0; w < r.numWindows; ++w)
+        EXPECT_EQ(r.blocksPerWindow[w],
+                  (r.windowColCount(w) + 3) / 4);
+}
+
+} // namespace
+} // namespace dtc
