@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blockshape.dir/bench_ablation_blockshape.cc.o"
+  "CMakeFiles/bench_ablation_blockshape.dir/bench_ablation_blockshape.cc.o.d"
+  "bench_ablation_blockshape"
+  "bench_ablation_blockshape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blockshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fetch.dir/bench_ablation_fetch.cc.o"
+  "CMakeFiles/bench_ablation_fetch.dir/bench_ablation_fetch.cc.o.d"
+  "bench_ablation_fetch"
+  "bench_ablation_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

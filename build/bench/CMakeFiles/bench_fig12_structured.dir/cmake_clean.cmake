@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_structured.dir/bench_fig12_structured.cc.o"
+  "CMakeFiles/bench_fig12_structured.dir/bench_fig12_structured.cc.o.d"
+  "bench_fig12_structured"
+  "bench_fig12_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

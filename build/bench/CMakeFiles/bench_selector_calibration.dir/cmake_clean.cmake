@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selector_calibration.dir/bench_selector_calibration.cc.o"
+  "CMakeFiles/bench_selector_calibration.dir/bench_selector_calibration.cc.o.d"
+  "bench_selector_calibration"
+  "bench_selector_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selector_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_unstructured.dir/bench_table4_unstructured.cc.o"
+  "CMakeFiles/bench_table4_unstructured.dir/bench_table4_unstructured.cc.o.d"
+  "bench_table4_unstructured"
+  "bench_table4_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_training.dir/gcn_training.cpp.o"
+  "CMakeFiles/gcn_training.dir/gcn_training.cpp.o.d"
+  "gcn_training"
+  "gcn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

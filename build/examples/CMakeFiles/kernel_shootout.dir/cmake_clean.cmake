@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_shootout.dir/kernel_shootout.cpp.o"
+  "CMakeFiles/kernel_shootout.dir/kernel_shootout.cpp.o.d"
+  "kernel_shootout"
+  "kernel_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_propagation.dir/label_propagation.cpp.o"
+  "CMakeFiles/label_propagation.dir/label_propagation.cpp.o.d"
+  "label_propagation"
+  "label_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

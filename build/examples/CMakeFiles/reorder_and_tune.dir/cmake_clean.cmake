@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_and_tune.dir/reorder_and_tune.cpp.o"
+  "CMakeFiles/reorder_and_tune.dir/reorder_and_tune.cpp.o.d"
+  "reorder_and_tune"
+  "reorder_and_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_and_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/precision.cc" "src/CMakeFiles/dtcspmm.dir/common/precision.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/common/precision.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dtcspmm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/dtcspmm.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/tf32.cc" "src/CMakeFiles/dtcspmm.dir/common/tf32.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/common/tf32.cc.o.d"
+  "/root/repo/src/datasets/collection.cc" "src/CMakeFiles/dtcspmm.dir/datasets/collection.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/datasets/collection.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/dtcspmm.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/table1.cc" "src/CMakeFiles/dtcspmm.dir/datasets/table1.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/datasets/table1.cc.o.d"
+  "/root/repo/src/formats/bell.cc" "src/CMakeFiles/dtcspmm.dir/formats/bell.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/bell.cc.o.d"
+  "/root/repo/src/formats/convert_cost.cc" "src/CMakeFiles/dtcspmm.dir/formats/convert_cost.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/convert_cost.cc.o.d"
+  "/root/repo/src/formats/cvse.cc" "src/CMakeFiles/dtcspmm.dir/formats/cvse.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/cvse.cc.o.d"
+  "/root/repo/src/formats/me_tcf.cc" "src/CMakeFiles/dtcspmm.dir/formats/me_tcf.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/me_tcf.cc.o.d"
+  "/root/repo/src/formats/serialize.cc" "src/CMakeFiles/dtcspmm.dir/formats/serialize.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/serialize.cc.o.d"
+  "/root/repo/src/formats/sgt.cc" "src/CMakeFiles/dtcspmm.dir/formats/sgt.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/sgt.cc.o.d"
+  "/root/repo/src/formats/tcf.cc" "src/CMakeFiles/dtcspmm.dir/formats/tcf.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/formats/tcf.cc.o.d"
+  "/root/repo/src/gnn/dense_ops.cc" "src/CMakeFiles/dtcspmm.dir/gnn/dense_ops.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gnn/dense_ops.cc.o.d"
+  "/root/repo/src/gnn/frameworks.cc" "src/CMakeFiles/dtcspmm.dir/gnn/frameworks.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gnn/frameworks.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/CMakeFiles/dtcspmm.dir/gnn/gcn.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gnn/gcn.cc.o.d"
+  "/root/repo/src/gnn/trainer.cc" "src/CMakeFiles/dtcspmm.dir/gnn/trainer.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gnn/trainer.cc.o.d"
+  "/root/repo/src/gpusim/arch.cc" "src/CMakeFiles/dtcspmm.dir/gpusim/arch.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gpusim/arch.cc.o.d"
+  "/root/repo/src/gpusim/cost_model.cc" "src/CMakeFiles/dtcspmm.dir/gpusim/cost_model.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gpusim/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/l2cache.cc" "src/CMakeFiles/dtcspmm.dir/gpusim/l2cache.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gpusim/l2cache.cc.o.d"
+  "/root/repo/src/gpusim/scheduler.cc" "src/CMakeFiles/dtcspmm.dir/gpusim/scheduler.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/gpusim/scheduler.cc.o.d"
+  "/root/repo/src/kernels/block_spmm.cc" "src/CMakeFiles/dtcspmm.dir/kernels/block_spmm.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/block_spmm.cc.o.d"
+  "/root/repo/src/kernels/cusparse_like.cc" "src/CMakeFiles/dtcspmm.dir/kernels/cusparse_like.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/cusparse_like.cc.o.d"
+  "/root/repo/src/kernels/dtc.cc" "src/CMakeFiles/dtcspmm.dir/kernels/dtc.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/dtc.cc.o.d"
+  "/root/repo/src/kernels/flash_llm_like.cc" "src/CMakeFiles/dtcspmm.dir/kernels/flash_llm_like.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/flash_llm_like.cc.o.d"
+  "/root/repo/src/kernels/reference.cc" "src/CMakeFiles/dtcspmm.dir/kernels/reference.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/reference.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/CMakeFiles/dtcspmm.dir/kernels/registry.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/registry.cc.o.d"
+  "/root/repo/src/kernels/sparsetir_like.cc" "src/CMakeFiles/dtcspmm.dir/kernels/sparsetir_like.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/sparsetir_like.cc.o.d"
+  "/root/repo/src/kernels/sparta_like.cc" "src/CMakeFiles/dtcspmm.dir/kernels/sparta_like.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/sparta_like.cc.o.d"
+  "/root/repo/src/kernels/sputnik_like.cc" "src/CMakeFiles/dtcspmm.dir/kernels/sputnik_like.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/sputnik_like.cc.o.d"
+  "/root/repo/src/kernels/tcgnn.cc" "src/CMakeFiles/dtcspmm.dir/kernels/tcgnn.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/tcgnn.cc.o.d"
+  "/root/repo/src/kernels/vector_sparse.cc" "src/CMakeFiles/dtcspmm.dir/kernels/vector_sparse.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/kernels/vector_sparse.cc.o.d"
+  "/root/repo/src/matrix/coo.cc" "src/CMakeFiles/dtcspmm.dir/matrix/coo.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/matrix/coo.cc.o.d"
+  "/root/repo/src/matrix/csr.cc" "src/CMakeFiles/dtcspmm.dir/matrix/csr.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/matrix/csr.cc.o.d"
+  "/root/repo/src/matrix/dense.cc" "src/CMakeFiles/dtcspmm.dir/matrix/dense.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/matrix/dense.cc.o.d"
+  "/root/repo/src/matrix/mm_io.cc" "src/CMakeFiles/dtcspmm.dir/matrix/mm_io.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/matrix/mm_io.cc.o.d"
+  "/root/repo/src/matrix/stats.cc" "src/CMakeFiles/dtcspmm.dir/matrix/stats.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/matrix/stats.cc.o.d"
+  "/root/repo/src/reorder/louvain.cc" "src/CMakeFiles/dtcspmm.dir/reorder/louvain.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/reorder/louvain.cc.o.d"
+  "/root/repo/src/reorder/metis_like.cc" "src/CMakeFiles/dtcspmm.dir/reorder/metis_like.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/reorder/metis_like.cc.o.d"
+  "/root/repo/src/reorder/minhash.cc" "src/CMakeFiles/dtcspmm.dir/reorder/minhash.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/reorder/minhash.cc.o.d"
+  "/root/repo/src/reorder/orderings.cc" "src/CMakeFiles/dtcspmm.dir/reorder/orderings.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/reorder/orderings.cc.o.d"
+  "/root/repo/src/reorder/tca.cc" "src/CMakeFiles/dtcspmm.dir/reorder/tca.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/reorder/tca.cc.o.d"
+  "/root/repo/src/selector/selector.cc" "src/CMakeFiles/dtcspmm.dir/selector/selector.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/selector/selector.cc.o.d"
+  "/root/repo/src/tuner/tuner.cc" "src/CMakeFiles/dtcspmm.dir/tuner/tuner.cc.o" "gcc" "src/CMakeFiles/dtcspmm.dir/tuner/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

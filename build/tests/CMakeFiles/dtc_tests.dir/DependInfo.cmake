@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bell_cvse.cc" "tests/CMakeFiles/dtc_tests.dir/test_bell_cvse.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_bell_cvse.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/dtc_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cost_model_properties.cc" "tests/CMakeFiles/dtc_tests.dir/test_cost_model_properties.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_cost_model_properties.cc.o.d"
+  "/root/repo/tests/test_datasets.cc" "tests/CMakeFiles/dtc_tests.dir/test_datasets.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_datasets.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/dtc_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_format_sweep.cc" "tests/CMakeFiles/dtc_tests.dir/test_format_sweep.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_format_sweep.cc.o.d"
+  "/root/repo/tests/test_gnn.cc" "tests/CMakeFiles/dtc_tests.dir/test_gnn.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_gnn.cc.o.d"
+  "/root/repo/tests/test_gpusim.cc" "tests/CMakeFiles/dtc_tests.dir/test_gpusim.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_gpusim.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/dtc_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kernel_cost.cc" "tests/CMakeFiles/dtc_tests.dir/test_kernel_cost.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_kernel_cost.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/dtc_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/dtc_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_me_tcf.cc" "tests/CMakeFiles/dtc_tests.dir/test_me_tcf.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_me_tcf.cc.o.d"
+  "/root/repo/tests/test_mm_io.cc" "tests/CMakeFiles/dtc_tests.dir/test_mm_io.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_mm_io.cc.o.d"
+  "/root/repo/tests/test_precision.cc" "tests/CMakeFiles/dtc_tests.dir/test_precision.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_precision.cc.o.d"
+  "/root/repo/tests/test_reorder.cc" "tests/CMakeFiles/dtc_tests.dir/test_reorder.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_reorder.cc.o.d"
+  "/root/repo/tests/test_selector.cc" "tests/CMakeFiles/dtc_tests.dir/test_selector.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_selector.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/dtc_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_sgt.cc" "tests/CMakeFiles/dtc_tests.dir/test_sgt.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_sgt.cc.o.d"
+  "/root/repo/tests/test_tcf.cc" "tests/CMakeFiles/dtc_tests.dir/test_tcf.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_tcf.cc.o.d"
+  "/root/repo/tests/test_tuner.cc" "tests/CMakeFiles/dtc_tests.dir/test_tuner.cc.o" "gcc" "tests/CMakeFiles/dtc_tests.dir/test_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtcspmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
