@@ -8,7 +8,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "kernels/reference.h"
+#include "matrix/dense.h"
 #include "datasets/generators.h"
 #include "formats/me_tcf.h"
 #include "formats/sgt.h"
@@ -116,6 +119,77 @@ BM_Scheduler(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * tbs.size());
 }
 BENCHMARK(BM_Scheduler)->Arg(1024)->Arg(65536);
+
+// ---- threads=1 vs threads=N sweeps of the parallelized hot paths.
+// The matrix has >= 100k nnz; results are bitwise identical across
+// thread counts (see tests/test_parallel_equivalence.cc), so these
+// rows isolate the wall-clock effect of the parallel runtime.
+
+void
+BM_SgtCondenseThreads(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    ScopedNumThreads threads(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        SgtResult r = sgtCondense(m);
+        benchmark::DoNotOptimize(r.numTcBlocks);
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_SgtCondenseThreads)->Arg(1)->Arg(8);
+
+void
+BM_MeTcfBuildThreads(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    ScopedNumThreads threads(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        MeTcfMatrix t = MeTcfMatrix::build(m);
+        benchmark::DoNotOptimize(t.numTcBlocks());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_MeTcfBuildThreads)->Arg(1)->Arg(8);
+
+void
+BM_ReferenceSpmmThreads(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    static DenseMatrix b = [&] {
+        Rng rng(3);
+        DenseMatrix d(m.cols(), 32);
+        d.fillRandom(rng);
+        return d;
+    }();
+    DenseMatrix c(m.rows(), 32);
+    ScopedNumThreads threads(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        referenceSpmm(m, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * 32);
+}
+BENCHMARK(BM_ReferenceSpmmThreads)->Arg(1)->Arg(8);
+
+void
+BM_MinhashSignatureBatchThreads(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    MinHasher hasher(32, 42);
+    std::vector<uint32_t> sigs(static_cast<size_t>(m.rows()) * 32);
+    auto row_set = [&](int64_t r) {
+        return std::pair<const int32_t*, const int32_t*>(
+            m.colIdx().data() + m.rowPtr()[r],
+            m.colIdx().data() + m.rowPtr()[r + 1]);
+    };
+    ScopedNumThreads threads(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        hasher.signatureBatch(m.rows(), row_set, sigs.data());
+        benchmark::DoNotOptimize(sigs[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * m.rows());
+}
+BENCHMARK(BM_MinhashSignatureBatchThreads)->Arg(1)->Arg(8);
 
 void
 BM_SelectorDecision(benchmark::State& state)

@@ -93,6 +93,18 @@ Rng::nextZipf(uint64_t n, double s)
     }
 }
 
+Rng
+Rng::forkAt(uint64_t index) const
+{
+    // SplitMix64-style finalizer over (state, index): decorrelates
+    // the derived seed from both the parent stream and neighbouring
+    // indices without touching the parent's state.
+    uint64_t z = state + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+}
+
 std::vector<uint64_t>
 Rng::sampleWithoutReplacement(uint64_t n, uint64_t k)
 {

@@ -74,6 +74,16 @@ class Rng
     /** Returns a forked sub-stream generator (independent sequence). */
     Rng fork() { return Rng(next64() ^ 0xda3e39cb94b95bdbull); }
 
+    /**
+     * Returns the @p index-th derived sub-stream WITHOUT advancing
+     * this generator.  This is the parallel-safe way to randomize a
+     * parallelFor body: fork one stream per chunk (or per case) from
+     * an immutable parent so no mutable Rng is ever shared across
+     * threads, and the streams do not depend on execution order or
+     * thread count.
+     */
+    Rng forkAt(uint64_t index) const;
+
   private:
     uint64_t state;
 };

@@ -4,9 +4,17 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "matrix/coo.h"
 
 namespace dtc {
+
+namespace {
+
+/** Windows per parallelFor chunk for the conversion passes. */
+constexpr int64_t kWindowGrain = 64;
+
+} // namespace
 
 MeTcfMatrix
 MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
@@ -30,19 +38,25 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
     const int64_t num_blocks = t.rowWindowOffsetArr.back();
     DTC_ASSERT(num_blocks == sgt.numTcBlocks);
 
-    // sparseAtoB: the original column behind each block lane.
+    // sparseAtoB: the original column behind each block lane.  Each
+    // window owns a disjoint block range, so the window-parallel
+    // passes below write disjoint slots and stay bitwise identical
+    // to the serial order.
     t.sparseAtoBArr.assign(
         static_cast<size_t>(num_blocks) * shape.blockWidth, kPadColumn);
-    for (int64_t w = 0; w < sgt.numWindows; ++w) {
-        const int32_t* cols = sgt.windowColsBegin(w);
-        const int64_t count = sgt.windowColCount(w);
-        const int64_t block0 = t.rowWindowOffsetArr[w];
-        for (int64_t j = 0; j < count; ++j) {
-            int64_t b = block0 + j / shape.blockWidth;
-            int64_t lane = j % shape.blockWidth;
-            t.sparseAtoBArr[b * shape.blockWidth + lane] = cols[j];
+    parallelFor(0, sgt.numWindows, kWindowGrain,
+                [&](int64_t w_lo, int64_t w_hi) {
+        for (int64_t w = w_lo; w < w_hi; ++w) {
+            const int32_t* cols = sgt.windowColsBegin(w);
+            const int64_t count = sgt.windowColCount(w);
+            const int64_t block0 = t.rowWindowOffsetArr[w];
+            for (int64_t j = 0; j < count; ++j) {
+                int64_t b = block0 + j / shape.blockWidth;
+                int64_t lane = j % shape.blockWidth;
+                t.sparseAtoBArr[b * shape.blockWidth + lane] = cols[j];
+            }
         }
-    }
+    });
 
     // Count nonzeros per TC block, then place (localId, value) pairs.
     const auto& row_ptr = m.rowPtr();
@@ -50,23 +64,27 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
     const auto& vals = m.values();
 
     t.tcOffsetArr.assign(static_cast<size_t>(num_blocks) + 1, 0);
-    for (int64_t w = 0; w < sgt.numWindows; ++w) {
-        const int64_t row_lo = w * shape.windowHeight;
-        const int64_t row_hi =
-            std::min(row_lo + shape.windowHeight, m.rows());
-        const int32_t* cols_begin = sgt.windowColsBegin(w);
-        const int32_t* cols_end = cols_begin + sgt.windowColCount(w);
-        for (int64_t r = row_lo; r < row_hi; ++r) {
-            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-                auto it = std::lower_bound(cols_begin, cols_end,
-                                           col_idx[k]);
-                int64_t newcol = it - cols_begin;
-                int64_t b = t.rowWindowOffsetArr[w] +
-                            newcol / shape.blockWidth;
-                t.tcOffsetArr[b + 1]++;
+    parallelFor(0, sgt.numWindows, kWindowGrain,
+                [&](int64_t w_lo, int64_t w_hi) {
+        for (int64_t w = w_lo; w < w_hi; ++w) {
+            const int64_t row_lo = w * shape.windowHeight;
+            const int64_t row_hi =
+                std::min(row_lo + shape.windowHeight, m.rows());
+            const int32_t* cols_begin = sgt.windowColsBegin(w);
+            const int32_t* cols_end =
+                cols_begin + sgt.windowColCount(w);
+            for (int64_t r = row_lo; r < row_hi; ++r) {
+                for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                    auto it = std::lower_bound(cols_begin, cols_end,
+                                               col_idx[k]);
+                    int64_t newcol = it - cols_begin;
+                    int64_t b = t.rowWindowOffsetArr[w] +
+                                newcol / shape.blockWidth;
+                    t.tcOffsetArr[b + 1]++;
+                }
             }
         }
-    }
+    });
     for (size_t i = 1; i < t.tcOffsetArr.size(); ++i)
         t.tcOffsetArr[i] += t.tcOffsetArr[i - 1];
 
@@ -74,28 +92,32 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
     t.valArr.resize(static_cast<size_t>(m.nnz()));
     std::vector<int64_t> cursor(t.tcOffsetArr.begin(),
                                 t.tcOffsetArr.end() - 1);
-    for (int64_t w = 0; w < sgt.numWindows; ++w) {
-        const int64_t row_lo = w * shape.windowHeight;
-        const int64_t row_hi =
-            std::min(row_lo + shape.windowHeight, m.rows());
-        const int32_t* cols_begin = sgt.windowColsBegin(w);
-        const int32_t* cols_end = cols_begin + sgt.windowColCount(w);
-        for (int64_t r = row_lo; r < row_hi; ++r) {
-            for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-                auto it = std::lower_bound(cols_begin, cols_end,
-                                           col_idx[k]);
-                int64_t newcol = it - cols_begin;
-                int64_t b = t.rowWindowOffsetArr[w] +
-                            newcol / shape.blockWidth;
-                int64_t local =
-                    (r - row_lo) * shape.blockWidth +
-                    newcol % shape.blockWidth;
-                int64_t pos = cursor[b]++;
-                t.localIdArr[pos] = static_cast<uint8_t>(local);
-                t.valArr[pos] = vals[k];
+    parallelFor(0, sgt.numWindows, kWindowGrain,
+                [&](int64_t w_lo, int64_t w_hi) {
+        for (int64_t w = w_lo; w < w_hi; ++w) {
+            const int64_t row_lo = w * shape.windowHeight;
+            const int64_t row_hi =
+                std::min(row_lo + shape.windowHeight, m.rows());
+            const int32_t* cols_begin = sgt.windowColsBegin(w);
+            const int32_t* cols_end =
+                cols_begin + sgt.windowColCount(w);
+            for (int64_t r = row_lo; r < row_hi; ++r) {
+                for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                    auto it = std::lower_bound(cols_begin, cols_end,
+                                               col_idx[k]);
+                    int64_t newcol = it - cols_begin;
+                    int64_t b = t.rowWindowOffsetArr[w] +
+                                newcol / shape.blockWidth;
+                    int64_t local =
+                        (r - row_lo) * shape.blockWidth +
+                        newcol % shape.blockWidth;
+                    int64_t pos = cursor[b]++;
+                    t.localIdArr[pos] = static_cast<uint8_t>(local);
+                    t.valArr[pos] = vals[k];
+                }
             }
         }
-    }
+    });
 
     // Rows are visited in order and columns ascend within a row, so
     // entries land in each block sorted by (localRow, localCol) — i.e.

@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace dtc {
+
+namespace {
+
+/** Windows per parallelFor chunk (fixed: part of the result layout). */
+constexpr int64_t kWindowGrain = 64;
+
+} // namespace
 
 SgtResult
 sgtCondense(const CsrMatrix& m, TcBlockShape shape)
@@ -20,35 +28,60 @@ sgtCondense(const CsrMatrix& m, TcBlockShape shape)
         (m.rows() + shape.windowHeight - 1) / shape.windowHeight;
     res.windowColOffset.resize(static_cast<size_t>(res.numWindows) + 1, 0);
     res.blocksPerWindow.resize(static_cast<size_t>(res.numWindows), 0);
-    res.windowCols.reserve(static_cast<size_t>(m.nnz()));
 
     const auto& row_ptr = m.rowPtr();
     const auto& col_idx = m.colIdx();
 
-    std::vector<int32_t> scratch;
-    for (int64_t w = 0; w < res.numWindows; ++w) {
-        const int64_t row_lo = w * shape.windowHeight;
-        const int64_t row_hi =
-            std::min(row_lo + shape.windowHeight, m.rows());
-        scratch.clear();
-        for (int64_t r = row_lo; r < row_hi; ++r) {
-            scratch.insert(scratch.end(),
-                           col_idx.begin() + row_ptr[r],
-                           col_idx.begin() + row_ptr[r + 1]);
-        }
-        std::sort(scratch.begin(), scratch.end());
-        scratch.erase(std::unique(scratch.begin(), scratch.end()),
-                      scratch.end());
+    // Window-parallel condensation: each chunk of windows dedups its
+    // windows into a private buffer and records per-window counts in
+    // disjoint slots; the buffers are then concatenated in chunk
+    // order, so the result is identical for any thread count.
+    const int64_t num_chunks =
+        res.numWindows > 0
+            ? (res.numWindows + kWindowGrain - 1) / kWindowGrain
+            : 0;
+    std::vector<std::vector<int32_t>> chunk_cols(
+        static_cast<size_t>(num_chunks));
 
-        res.windowCols.insert(res.windowCols.end(), scratch.begin(),
-                              scratch.end());
-        res.windowColOffset[w + 1] =
-            static_cast<int64_t>(res.windowCols.size());
-        const int64_t distinct = static_cast<int64_t>(scratch.size());
-        res.blocksPerWindow[w] = static_cast<int32_t>(
-            (distinct + shape.blockWidth - 1) / shape.blockWidth);
+    parallelFor(0, res.numWindows, kWindowGrain,
+                [&](int64_t w_lo, int64_t w_hi) {
+        std::vector<int32_t>& out =
+            chunk_cols[static_cast<size_t>(w_lo / kWindowGrain)];
+        std::vector<int32_t> scratch;
+        for (int64_t w = w_lo; w < w_hi; ++w) {
+            const int64_t row_lo = w * shape.windowHeight;
+            const int64_t row_hi =
+                std::min(row_lo + shape.windowHeight, m.rows());
+            scratch.clear();
+            for (int64_t r = row_lo; r < row_hi; ++r) {
+                scratch.insert(scratch.end(),
+                               col_idx.begin() + row_ptr[r],
+                               col_idx.begin() + row_ptr[r + 1]);
+            }
+            std::sort(scratch.begin(), scratch.end());
+            scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                          scratch.end());
+
+            out.insert(out.end(), scratch.begin(), scratch.end());
+            const int64_t distinct =
+                static_cast<int64_t>(scratch.size());
+            // Stored as a per-window count here; prefix-summed below.
+            res.windowColOffset[w + 1] = distinct;
+            res.blocksPerWindow[w] = static_cast<int32_t>(
+                (distinct + shape.blockWidth - 1) / shape.blockWidth);
+        }
+    });
+
+    for (int64_t w = 0; w < res.numWindows; ++w) {
+        res.windowColOffset[w + 1] += res.windowColOffset[w];
         res.numTcBlocks += res.blocksPerWindow[w];
     }
+
+    res.windowCols.reserve(static_cast<size_t>(
+        res.numWindows > 0 ? res.windowColOffset[res.numWindows] : 0));
+    for (const auto& cols : chunk_cols)
+        res.windowCols.insert(res.windowCols.end(), cols.begin(),
+                              cols.end());
 
     res.meanNnzTc = res.numTcBlocks > 0
                         ? static_cast<double>(res.nnz) /

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace dtc {
 
@@ -101,10 +102,18 @@ CostModel::launch(const std::string& kernel_name,
         1.0, std::min(static_cast<double>(tbs.size()),
                       static_cast<double>(archSpec.numSms)));
 
+    // Per-block cycle tallies are independent — compute them in
+    // parallel (disjoint writes) — while the event totals are merged
+    // serially in launch order below, so every counter is bitwise
+    // identical for any thread count.
     std::vector<double> cycles(tbs.size());
-    for (size_t i = 0; i < tbs.size(); ++i) {
-        const TbWork& w = tbs[i];
-        cycles[i] = tbCycles(w, mem_share);
+    parallelFor(0, static_cast<int64_t>(tbs.size()), 256,
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            cycles[static_cast<size_t>(i)] =
+                tbCycles(tbs[static_cast<size_t>(i)], mem_share);
+    });
+    for (const TbWork& w : tbs) {
         r.totalHmma += w.hmma;
         r.totalImad += w.imad;
         r.totalFma += w.fma;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "kernels/b_traffic.h"
 
 namespace dtc {
@@ -23,15 +24,19 @@ CuSparseKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     DTC_CHECK(c.rows() == mat.rows() && c.cols() == b.cols());
     const int64_t n = b.cols();
     c.setZero();
-    for (int64_t r = 0; r < mat.rows(); ++r) {
-        float* crow = c.row(r);
-        for (int64_t k = mat.rowPtr()[r]; k < mat.rowPtr()[r + 1]; ++k) {
-            const float v = mat.values()[k];
-            const float* brow = b.row(mat.colIdx()[k]);
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += v * brow[j];
+    // Row-parallel: each chunk writes a disjoint slice of C.
+    parallelFor(0, mat.rows(), 64, [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+            float* crow = c.row(r);
+            for (int64_t k = mat.rowPtr()[r]; k < mat.rowPtr()[r + 1];
+                 ++k) {
+                const float v = mat.values()[k];
+                const float* brow = b.row(mat.colIdx()[k]);
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += v * brow[j];
+            }
         }
-    }
+    });
 }
 
 LaunchResult

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/tf32.h"
 #include "kernels/b_traffic.h"
 
@@ -72,23 +73,27 @@ DtcKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     // Traverse blocks left-to-right per window, nonzeros in ascending
     // local id: per output row this accumulates in ascending-column
     // order with TF32 operand rounding — identical numerics to the
-    // mma.m16n8k4 pipeline and to referenceSpmmTf32.
-    for (int64_t w = 0; w < format.numWindows(); ++w) {
-        for (int64_t blk = rwo[w]; blk < rwo[w + 1]; ++blk) {
-            for (int64_t k = tco[blk]; k < tco[blk + 1]; ++k) {
-                const int64_t local = lid[k];
-                const int64_t row = w * wh + local / bw;
-                const int32_t col = atob[blk * bw + local % bw];
-                const float v =
-                    roundToPrecision(vals[k], opts.precision);
-                const float* brow = b.row(col);
-                float* crow = c.row(row);
-                for (int64_t j = 0; j < n; ++j)
-                    crow[j] += v * roundToPrecision(
-                                       brow[j], opts.precision);
+    // mma.m16n8k4 pipeline and to referenceSpmmTf32.  Window-parallel
+    // like the real grid: each window writes a disjoint row slab of C.
+    parallelFor(0, format.numWindows(), 16,
+                [&](int64_t w_lo, int64_t w_hi) {
+        for (int64_t w = w_lo; w < w_hi; ++w) {
+            for (int64_t blk = rwo[w]; blk < rwo[w + 1]; ++blk) {
+                for (int64_t k = tco[blk]; k < tco[blk + 1]; ++k) {
+                    const int64_t local = lid[k];
+                    const int64_t row = w * wh + local / bw;
+                    const int32_t col = atob[blk * bw + local % bw];
+                    const float v =
+                        roundToPrecision(vals[k], opts.precision);
+                    const float* brow = b.row(col);
+                    float* crow = c.row(row);
+                    for (int64_t j = 0; j < n; ++j)
+                        crow[j] += v * roundToPrecision(
+                                           brow[j], opts.precision);
+                }
             }
         }
-    }
+    });
 }
 
 void

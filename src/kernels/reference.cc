@@ -3,9 +3,17 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/tf32.h"
 
 namespace dtc {
+
+namespace {
+
+/** Rows per parallelFor chunk: each chunk owns disjoint C rows. */
+constexpr int64_t kRowGrain = 64;
+
+} // namespace
 
 void
 referenceSpmm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix& c)
@@ -13,19 +21,23 @@ referenceSpmm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix& c)
     DTC_CHECK(a.cols() == b.rows());
     DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
     const int64_t n = b.cols();
-    std::vector<double> acc(static_cast<size_t>(n));
-    for (int64_t r = 0; r < a.rows(); ++r) {
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
-            const double v = a.values()[k];
-            const float* brow = b.row(a.colIdx()[k]);
+    parallelFor(0, a.rows(), kRowGrain,
+                [&](int64_t r_lo, int64_t r_hi) {
+        std::vector<double> acc(static_cast<size_t>(n));
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+            std::fill(acc.begin(), acc.end(), 0.0);
+            for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1];
+                 ++k) {
+                const double v = a.values()[k];
+                const float* brow = b.row(a.colIdx()[k]);
+                for (int64_t j = 0; j < n; ++j)
+                    acc[j] += v * static_cast<double>(brow[j]);
+            }
+            float* crow = c.row(r);
             for (int64_t j = 0; j < n; ++j)
-                acc[j] += v * static_cast<double>(brow[j]);
+                crow[j] = static_cast<float>(acc[j]);
         }
-        float* crow = c.row(r);
-        for (int64_t j = 0; j < n; ++j)
-            crow[j] = static_cast<float>(acc[j]);
-    }
+    });
 }
 
 void
@@ -36,15 +48,19 @@ referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
     DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
     const int64_t n = b.cols();
     c.setZero();
-    for (int64_t r = 0; r < a.rows(); ++r) {
-        float* crow = c.row(r);
-        for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
-            const float v = tf32Round(a.values()[k]);
-            const float* brow = b.row(a.colIdx()[k]);
-            for (int64_t j = 0; j < n; ++j)
-                crow[j] += v * tf32Round(brow[j]);
+    parallelFor(0, a.rows(), kRowGrain,
+                [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+            float* crow = c.row(r);
+            for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1];
+                 ++k) {
+                const float v = tf32Round(a.values()[k]);
+                const float* brow = b.row(a.colIdx()[k]);
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += v * tf32Round(brow[j]);
+            }
         }
-    }
+    });
 }
 
 } // namespace dtc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/tf32.h"
 #include "kernels/b_traffic.h"
 
@@ -28,19 +29,26 @@ TcgnnKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     const int64_t n = b.cols();
     c.setZero();
     // Walk the TCF arrays exactly as the kernel's FetchSparse does:
-    // nonzeros in CSR order, located via edgeToRow/edgeList.  Within a
-    // row this accumulates in ascending-column order — the same order
-    // the WMMA tiles accumulate — with TF32 operand rounding.
-    const auto& rows = format.edgeToRow();
+    // nonzeros in CSR order, located via nodePointer/edgeList.  Within
+    // a row this accumulates in ascending-column order — the same
+    // order the WMMA tiles accumulate — with TF32 operand rounding.
+    // Row-parallel: nonzeros are grouped by row (edgeToRow ascending),
+    // so chunking on row boundaries keeps C writes disjoint.
+    const auto& node_ptr = format.nodePointer();
     const auto& cols = format.edgeList();
     const auto& vals = format.values();
-    for (int64_t k = 0; k < format.nnz(); ++k) {
-        const float v = tf32Round(vals[k]);
-        const float* brow = b.row(cols[k]);
-        float* crow = c.row(rows[k]);
-        for (int64_t j = 0; j < n; ++j)
-            crow[j] += v * tf32Round(brow[j]);
-    }
+    parallelFor(0, format.rows(), 256,
+                [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+            float* crow = c.row(r);
+            for (int64_t k = node_ptr[r]; k < node_ptr[r + 1]; ++k) {
+                const float v = tf32Round(vals[k]);
+                const float* brow = b.row(cols[k]);
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += v * tf32Round(brow[j]);
+            }
+        }
+    });
 }
 
 LaunchResult

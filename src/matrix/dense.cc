@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace dtc {
@@ -37,11 +38,22 @@ double
 DenseMatrix::maxAbsDiff(const DenseMatrix& other) const
 {
     DTC_CHECK(nRows == other.nRows && nCols == other.nCols);
-    double m = 0.0;
-    for (size_t i = 0; i < buf.size(); ++i)
-        m = std::max(m, std::abs(static_cast<double>(buf[i]) -
-                                 static_cast<double>(other.buf[i])));
-    return m;
+    // max is exact under any association, so the parallel reduction
+    // matches the serial scan bit for bit.
+    return parallelReduce(
+        0, static_cast<int64_t>(buf.size()), 1 << 16, 0.0,
+        [&](int64_t lo, int64_t hi) {
+            double m = 0.0;
+            for (int64_t i = lo; i < hi; ++i)
+                m = std::max(
+                    m, std::abs(static_cast<double>(
+                                    buf[static_cast<size_t>(i)]) -
+                                static_cast<double>(
+                                    other.buf[static_cast<size_t>(
+                                        i)])));
+            return m;
+        },
+        [](double a, double b) { return std::max(a, b); });
 }
 
 double

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace dtc {
@@ -38,6 +39,21 @@ MinHasher::signature(const int32_t* begin, const int32_t* end,
             out[i] = std::min(out[i], v);
         }
     }
+}
+
+void
+MinHasher::signatureBatch(
+    int64_t num_sets,
+    const std::function<std::pair<const int32_t*, const int32_t*>(
+        int64_t)>& set_of,
+    uint32_t* out) const
+{
+    parallelFor(0, num_sets, 256, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            auto [begin, end] = set_of(i);
+            signature(begin, end, out + i * nHashes);
+        }
+    });
 }
 
 double

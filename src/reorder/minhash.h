@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,19 @@ class MinHasher
      */
     void signature(const int32_t* begin, const int32_t* end,
                    uint32_t* out) const;
+
+    /**
+     * Computes the signatures of @p num_sets sets in parallel (the
+     * hasher is immutable and each set writes a disjoint slice of
+     * @p out, so results are identical for any thread count).
+     * @p set_of maps a set index to its [begin, end) element range;
+     * set i lands at @p out + i * numHashes().
+     */
+    void signatureBatch(
+        int64_t num_sets,
+        const std::function<std::pair<const int32_t*, const int32_t*>(
+            int64_t)>& set_of,
+        uint32_t* out) const;
 
   private:
     int nHashes;

@@ -87,11 +87,13 @@ mergeHierarchy(int64_t num_elems, const SetOf& set_of,
     MinHasher hasher(p.numHashes, seed);
     std::vector<uint32_t> sigs(static_cast<size_t>(num_elems) *
                                p.numHashes);
-    for (int64_t i = 0; i < num_elems; ++i) {
-        auto [begin, end] = set_of(i);
-        hasher.signature(begin, end,
-                         sigs.data() + i * p.numHashes);
-    }
+    hasher.signatureBatch(
+        num_elems,
+        [&](int64_t i) {
+            return std::pair<const int32_t*, const int32_t*>(
+                set_of(i));
+        },
+        sigs.data());
 
     const size_t max_pairs =
         static_cast<size_t>(std::max<int64_t>(4096, num_elems * 24));
