@@ -35,9 +35,14 @@ main(int argc, char** argv)
                                 KernelKind::SparTA}) {
             PreparedKernel k(kind, matrix);
             if (!k.error().empty()) {
-                row.push_back(kind == KernelKind::SparTA
-                                  ? "Not Supported"
-                                  : "OOM");
+                // The cell label follows the refusal taxonomy, not
+                // the kernel identity: budget refusals print as the
+                // paper's "OOM", capability refusals as its
+                // "Not Supported".
+                row.push_back(
+                    k.errorCode() == ErrorCode::ResourceExhausted
+                        ? "OOM"
+                        : "Not Supported");
             } else {
                 row.push_back(fmt(k.cost(128, cm).timeMs, 3));
             }

@@ -80,7 +80,9 @@ geomean(const std::vector<double>& values)
 PreparedKernel::PreparedKernel(KernelKind kind, const CsrMatrix& a)
     : kernelName(kernelKindName(kind)), kernel(makeKernel(kind))
 {
-    err = kernel->prepare(a);
+    const Refusal r = kernel->prepare(a);
+    err = r.reason;
+    code = r.code;
 }
 
 const LaunchResult&

@@ -57,6 +57,8 @@ class PreparedKernel
 
     /** Empty when prepare() succeeded. */
     const std::string& error() const { return err; }
+    /** Taxonomy code of the refusal (meaningless when error() is empty). */
+    ErrorCode errorCode() const { return code; }
     const std::string& name() const { return kernelName; }
 
     /** Simulated launch (cached). */
@@ -65,6 +67,7 @@ class PreparedKernel
   private:
     std::string kernelName;
     std::string err;
+    ErrorCode code = ErrorCode::Internal;
     std::unique_ptr<SpmmKernel> kernel;
     std::map<std::pair<std::string, int64_t>, LaunchResult> cache;
 };

@@ -1,0 +1,72 @@
+#include "common/budget.h"
+
+#include "common/check.h"
+#include "gpusim/arch.h"
+
+namespace dtc {
+
+namespace {
+
+thread_local const ResourceBudget* tlsBudgetOverride = nullptr;
+
+} // namespace
+
+ResourceBudget
+ResourceBudget::defaults()
+{
+    const ArchSpec arch = ArchSpec::rtx4090();
+    ResourceBudget b;
+    b.conversionBytes = arch.deviceMemBytes;
+    b.stagingBytes = arch.hostMemBytes;
+    b.maxStructuredDim = 5000; // SparTA's scaled limit (DESIGN.md)
+    return b;
+}
+
+const ResourceBudget&
+ResourceBudget::current()
+{
+    if (tlsBudgetOverride != nullptr)
+        return *tlsBudgetOverride;
+    static const ResourceBudget global = defaults();
+    return global;
+}
+
+void
+ResourceBudget::checkConversion(int64_t bytes,
+                                const char* component) const
+{
+    if (!allowsConversion(bytes)) {
+        DTC_RAISE_CTX(ErrorCode::ResourceExhausted,
+                      "conversion needs " << bytes
+                          << " bytes, budget is " << conversionBytes,
+                      (ErrorContext{.component = component}));
+    }
+}
+
+void
+ResourceBudget::checkStaging(int64_t bytes,
+                             const char* component) const
+{
+    if (!allowsStaging(bytes)) {
+        DTC_RAISE_CTX(ErrorCode::ResourceExhausted,
+                      "staging needs " << bytes
+                          << " bytes, budget is " << stagingBytes,
+                      (ErrorContext{.component = component}));
+    }
+}
+
+ScopedResourceBudget::ScopedResourceBudget(const ResourceBudget& budget)
+    : active(budget), prev(tlsBudgetOverride)
+{
+    DTC_CHECK(budget.conversionBytes >= 0 &&
+              budget.stagingBytes >= 0 &&
+              budget.maxStructuredDim >= 0);
+    tlsBudgetOverride = &active;
+}
+
+ScopedResourceBudget::~ScopedResourceBudget()
+{
+    tlsBudgetOverride = prev;
+}
+
+} // namespace dtc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Resource budgets for conversions, staging, and deserialization.
+ *
+ * Every SpmmKernel::prepare() path and the binary serializer consult
+ * one ResourceBudget instead of scattering hard-coded constants
+ * (Flash-LLM's host-staging bytes, Block-SpMM's device bytes, SparTA's
+ * cuSPARSELt dimension cap).  An allocation that would exceed the
+ * budget surfaces as ErrorCode::ResourceExhausted — a typed refusal
+ * the tuner can skip past — never an abort or a silent mis-model.
+ *
+ * The defaults mirror the modeled deployment (RTX 4090 device memory,
+ * host RAM); tests and callers override them with ScopedResourceBudget
+ * (a thread-local override, like ScopedNumThreads).
+ */
+#ifndef DTC_COMMON_BUDGET_H
+#define DTC_COMMON_BUDGET_H
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace dtc {
+
+/** Byte/dimension budgets consulted by prepare() and the serializer. */
+struct ResourceBudget
+{
+    /** Device-resident bytes a converted format may occupy. */
+    int64_t conversionBytes = 0;
+
+    /** Host bytes for staging and deserialization buffers. */
+    int64_t stagingBytes = 0;
+
+    /**
+     * Dimension cap of the structured-sparse (cuSPARSELt) path —
+     * SparTA's Table-4 "Not Supported" limit, scaled per DESIGN.md.
+     */
+    int64_t maxStructuredDim = 0;
+
+    /** Deployment defaults (RTX 4090 device + host memory, dim 5000). */
+    static ResourceBudget defaults();
+
+    /** Budget in effect on this thread (override, else defaults). */
+    static const ResourceBudget& current();
+
+    bool allowsConversion(int64_t bytes) const
+    {
+        return bytes <= conversionBytes;
+    }
+
+    bool allowsStaging(int64_t bytes) const
+    {
+        return bytes <= stagingBytes;
+    }
+
+    /** Throws DtcError(ResourceExhausted) when over budget. */
+    void checkConversion(int64_t bytes, const char* component) const;
+    void checkStaging(int64_t bytes, const char* component) const;
+};
+
+/**
+ * RAII budget override for the current thread; nests, restores on
+ * exit.  Used by tests to provoke ResourceExhausted deterministically.
+ */
+class ScopedResourceBudget
+{
+  public:
+    explicit ScopedResourceBudget(const ResourceBudget& budget);
+    ~ScopedResourceBudget();
+
+    ScopedResourceBudget(const ScopedResourceBudget&) = delete;
+    ScopedResourceBudget& operator=(const ScopedResourceBudget&) =
+        delete;
+
+  private:
+    ResourceBudget active; ///< Owned copy the override points at.
+    const ResourceBudget* prev;
+};
+
+} // namespace dtc
+
+#endif // DTC_COMMON_BUDGET_H

@@ -3,9 +3,12 @@
  * Error-checking macros used across the library.
  *
  * DTC_CHECK is for user-facing precondition violations (bad arguments,
- * inconsistent matrix dimensions): it throws std::invalid_argument so
- * callers can recover.  DTC_ASSERT is for internal invariants that
- * indicate a library bug; it throws std::logic_error.
+ * inconsistent matrix dimensions): it throws DtcError with code
+ * InvalidInput — which derives std::invalid_argument, so callers that
+ * predate the taxonomy keep recovering.  DTC_ASSERT is for internal
+ * invariants that indicate a library bug; it throws DtcInternalError
+ * (a std::logic_error).  For other codes use DTC_CHECK_CODE /
+ * DTC_RAISE from common/error.h.
  */
 #ifndef DTC_COMMON_CHECK_H
 #define DTC_COMMON_CHECK_H
@@ -13,6 +16,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "common/error.h"
 
 namespace dtc {
 
@@ -34,12 +39,14 @@ checkMessage(const char* kind, const char* expr, const char* file, int line,
 
 } // namespace dtc
 
-/** Throws std::invalid_argument when a caller-visible precondition fails. */
+/** Throws DtcError(InvalidInput) when a precondition fails. */
 #define DTC_CHECK(cond)                                                     \
     do {                                                                    \
         if (!(cond)) {                                                      \
-            throw std::invalid_argument(::dtc::detail::checkMessage(        \
-                "DTC_CHECK", #cond, __FILE__, __LINE__, ""));               \
+            throw ::dtc::DtcError(                                          \
+                ::dtc::ErrorCode::InvalidInput,                             \
+                ::dtc::detail::checkMessage("DTC_CHECK", #cond, __FILE__,   \
+                                            __LINE__, ""));                 \
         }                                                                   \
     } while (0)
 
@@ -49,16 +56,18 @@ checkMessage(const char* kind, const char* expr, const char* file, int line,
         if (!(cond)) {                                                      \
             std::ostringstream os_;                                         \
             os_ << msg;                                                     \
-            throw std::invalid_argument(::dtc::detail::checkMessage(        \
-                "DTC_CHECK", #cond, __FILE__, __LINE__, os_.str()));        \
+            throw ::dtc::DtcError(                                          \
+                ::dtc::ErrorCode::InvalidInput,                             \
+                ::dtc::detail::checkMessage("DTC_CHECK", #cond, __FILE__,   \
+                                            __LINE__, os_.str()));          \
         }                                                                   \
     } while (0)
 
-/** Throws std::logic_error when an internal invariant is violated. */
+/** Throws DtcInternalError when an internal invariant is violated. */
 #define DTC_ASSERT(cond)                                                    \
     do {                                                                    \
         if (!(cond)) {                                                      \
-            throw std::logic_error(::dtc::detail::checkMessage(             \
+            throw ::dtc::DtcInternalError(::dtc::detail::checkMessage(      \
                 "DTC_ASSERT", #cond, __FILE__, __LINE__, ""));              \
         }                                                                   \
     } while (0)

@@ -1,0 +1,119 @@
+#include "common/error.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace dtc {
+
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidInput:
+        return "InvalidInput";
+      case ErrorCode::CorruptData:
+        return "CorruptData";
+      case ErrorCode::ResourceExhausted:
+        return "ResourceExhausted";
+      case ErrorCode::Unsupported:
+        return "Unsupported";
+      case ErrorCode::Internal:
+        return "Internal";
+    }
+    return "?";
+}
+
+ErrorCode
+parseErrorCode(const std::string& name)
+{
+    std::string s = name;
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    for (ErrorCode code :
+         {ErrorCode::InvalidInput, ErrorCode::CorruptData,
+          ErrorCode::ResourceExhausted, ErrorCode::Unsupported,
+          ErrorCode::Internal}) {
+        std::string want = errorCodeName(code);
+        std::transform(want.begin(), want.end(), want.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        if (s == want)
+            return code;
+    }
+    throw DtcError(ErrorCode::InvalidInput,
+                   "unknown error code name: " + name);
+}
+
+namespace detail {
+
+std::string
+errorMessage(ErrorCode code, const std::string& message,
+             const ErrorContext& ctx)
+{
+    std::ostringstream os;
+    os << "[" << errorCodeName(code) << "]";
+    if (!ctx.component.empty())
+        os << " " << ctx.component << ":";
+    os << " " << message;
+    const bool dims = ctx.rows >= 0 || ctx.cols >= 0;
+    if (dims || ctx.byteOffset >= 0) {
+        os << " (";
+        if (dims)
+            os << "dims=" << ctx.rows << "x" << ctx.cols;
+        if (ctx.byteOffset >= 0)
+            os << (dims ? ", " : "") << "byte " << ctx.byteOffset;
+        os << ")";
+    }
+    return os.str();
+}
+
+} // namespace detail
+
+DtcError::DtcError(ErrorCode code, const std::string& message,
+                   ErrorContext context)
+    : std::invalid_argument(
+          detail::errorMessage(code, message, context)),
+      errCode(code), ctx(std::move(context))
+{}
+
+DtcInternalError::DtcInternalError(const std::string& message,
+                                   ErrorContext context)
+    : std::logic_error(detail::errorMessage(ErrorCode::Internal,
+                                            message, context)),
+      ctx(std::move(context))
+{}
+
+Refusal
+Refusal::refuse(ErrorCode code, std::string reason)
+{
+    Refusal r;
+    r.code = code;
+    r.reason = std::move(reason);
+    return r;
+}
+
+bool
+operator==(const Refusal& r, const char* reason)
+{
+    return r.reason == reason;
+}
+
+bool
+operator==(const Refusal& r, const std::string& reason)
+{
+    return r.reason == reason;
+}
+
+std::ostream&
+operator<<(std::ostream& os, const Refusal& r)
+{
+    if (r.ok())
+        return os << "ok";
+    return os << errorCodeName(r.code) << ": " << r.reason;
+}
+
+} // namespace dtc

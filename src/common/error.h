@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Structured error taxonomy for the whole library.
+ *
+ * Every refusal, corruption, or exhaustion the pipeline can hit maps
+ * onto one machine-readable ErrorCode, so callers (the tuner, the
+ * trainer, deployment glue) can *act* on a failure instead of string-
+ * matching.  Two exception classes carry the code plus structured
+ * context:
+ *
+ *   - DtcError (derives std::invalid_argument): recoverable failures
+ *     of inputs, persisted data, or resources — a caller can retry
+ *     with a different kernel, budget, or file.
+ *   - DtcInternalError (derives std::logic_error): a library bug; the
+ *     code is always ErrorCode::Internal.
+ *
+ * Deriving from the standard exception types keeps every pre-existing
+ * catch (std::invalid_argument) / catch (std::logic_error) site
+ * working unchanged.
+ *
+ * Refusal is the non-throwing flavour used by SpmmKernel::prepare():
+ * baselines refuse inputs as part of their *modeled behaviour* (paper
+ * Table 4's "OOM" / "Not Supported" cells), which is an answer, not
+ * an error — so prepare() returns it instead of throwing.
+ */
+#ifndef DTC_COMMON_ERROR_H
+#define DTC_COMMON_ERROR_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtc {
+
+/** Machine-readable failure categories (see file comment). */
+enum class ErrorCode
+{
+    InvalidInput,      ///< Malformed or inconsistent caller input.
+    CorruptData,       ///< Persisted bytes fail validation.
+    ResourceExhausted, ///< An allocation would exceed a ResourceBudget.
+    Unsupported,       ///< Valid input outside a component's domain.
+    Internal,          ///< Library invariant violated (a bug).
+};
+
+/** Stable display name of an error code (e.g. "ResourceExhausted"). */
+const char* errorCodeName(ErrorCode code);
+
+/**
+ * Parses an error-code name (case-insensitive).  Throws DtcError
+ * (InvalidInput) on an unknown name — used by the DTC_FAULT parser.
+ */
+ErrorCode parseErrorCode(const std::string& name);
+
+/**
+ * Structured context attached to an error: which component raised it
+ * and, when known, the matrix dimensions and byte offset involved.
+ * Fields are -1 / empty when not applicable.
+ */
+struct ErrorContext
+{
+    std::string component; ///< e.g. "serialize", "mm_io", "tuner".
+    int64_t rows = -1;     ///< Matrix rows, if dimension-related.
+    int64_t cols = -1;     ///< Matrix cols, if dimension-related.
+    int64_t byteOffset = -1; ///< Stream position, if stream-related.
+};
+
+/** Recoverable structured error (see file comment). */
+class DtcError : public std::invalid_argument
+{
+  public:
+    DtcError(ErrorCode code, const std::string& message,
+             ErrorContext context = {});
+
+    ErrorCode code() const noexcept { return errCode; }
+    const ErrorContext& context() const noexcept { return ctx; }
+
+  private:
+    ErrorCode errCode;
+    ErrorContext ctx;
+};
+
+/** Internal-invariant violation; code() is always Internal. */
+class DtcInternalError : public std::logic_error
+{
+  public:
+    explicit DtcInternalError(const std::string& message,
+                              ErrorContext context = {});
+
+    ErrorCode code() const noexcept { return ErrorCode::Internal; }
+    const ErrorContext& context() const noexcept { return ctx; }
+
+  private:
+    ErrorContext ctx;
+};
+
+/**
+ * A kernel's structured refusal of an input (empty reason = accepted).
+ * Returned by SpmmKernel::prepare(); the tuner copies code + reason
+ * into its per-candidate report.
+ */
+struct Refusal
+{
+    /** Meaningful only when !ok(). */
+    ErrorCode code = ErrorCode::Unsupported;
+
+    /** Human-readable reason; empty means the input was accepted. */
+    std::string reason;
+
+    /** True when the kernel accepted the input. */
+    bool ok() const { return reason.empty(); }
+
+    /** String-compatible alias of ok() (migration shim). */
+    bool empty() const { return reason.empty(); }
+
+    /** Accepts the input. */
+    static Refusal accept() { return {}; }
+
+    /** Refuses with a code and reason (reason must be non-empty). */
+    static Refusal refuse(ErrorCode code, std::string reason);
+
+    /** Implicit reason view so string-typed call sites keep working. */
+    operator std::string() const { return reason; }
+};
+
+/** Compares against the reason string ("" = accepted). */
+bool operator==(const Refusal& r, const char* reason);
+bool operator==(const Refusal& r, const std::string& reason);
+
+/** Prints "<code>: <reason>" (or "ok"). */
+std::ostream& operator<<(std::ostream& os, const Refusal& r);
+
+namespace detail {
+
+/** Formats "[Code] component: message (rows=…, byte …)". */
+std::string errorMessage(ErrorCode code, const std::string& message,
+                         const ErrorContext& ctx);
+
+} // namespace detail
+
+} // namespace dtc
+
+/** Throws DtcError with a streamable message and optional context. */
+#define DTC_RAISE(code, msg)                                            \
+    do {                                                                \
+        std::ostringstream os_;                                         \
+        os_ << msg;                                                     \
+        throw ::dtc::DtcError((code), os_.str());                       \
+    } while (0)
+
+/** DTC_RAISE with an ErrorContext. */
+#define DTC_RAISE_CTX(code, msg, ctx)                                   \
+    do {                                                                \
+        std::ostringstream os_;                                         \
+        os_ << msg;                                                     \
+        throw ::dtc::DtcError((code), os_.str(), (ctx));                \
+    } while (0)
+
+/** DTC_CHECK_MSG with an explicit error code. */
+#define DTC_CHECK_CODE(cond, code, msg)                                 \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            DTC_RAISE((code), msg);                                     \
+        }                                                               \
+    } while (0)
+
+#endif // DTC_COMMON_ERROR_H

@@ -1,0 +1,233 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/parallel.h"
+
+namespace dtc {
+namespace fault {
+
+namespace detail {
+
+std::atomic<int> gState{2}; // env not yet parsed
+
+namespace {
+
+struct SiteState
+{
+    FaultSpec spec;
+    bool armed = false;
+    int64_t serialHits = 0; ///< Program-order hits (outside chunks).
+    bool fired = false;     ///< Each arming fires at most once.
+};
+
+std::mutex gMu;
+std::map<std::string, SiteState>&
+registry()
+{
+    static std::map<std::string, SiteState> sites;
+    return sites;
+}
+
+/** Parses the env var once; caller holds gMu. */
+void
+parseEnvLocked()
+{
+    if (gState.load(std::memory_order_relaxed) != 2)
+        return;
+    const char* env = std::getenv("DTC_FAULT");
+    if (env == nullptr || *env == '\0') {
+        gState.store(0, std::memory_order_relaxed);
+        return;
+    }
+    // armFromSpec re-enters the lock; parse inline instead.
+    std::string spec(env);
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string one = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        const size_t c1 = one.find(':');
+        const size_t c2 =
+            c1 == std::string::npos ? std::string::npos
+                                    : one.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos) {
+            gState.store(0, std::memory_order_relaxed);
+            throw DtcError(ErrorCode::InvalidInput,
+                           "DTC_FAULT entry is not "
+                           "<site>:<nth>:<code>: " +
+                               one,
+                           {.component = "fault"});
+        }
+        SiteState& st = registry()[one.substr(0, c1)];
+        st.spec.site = one.substr(0, c1);
+        st.spec.nth = std::strtoll(one.substr(c1 + 1).c_str(),
+                                   nullptr, 10);
+        st.spec.code = parseErrorCode(one.substr(c2 + 1));
+        if (st.spec.nth < 1) {
+            gState.store(0, std::memory_order_relaxed);
+            throw DtcError(ErrorCode::InvalidInput,
+                           "DTC_FAULT nth must be >= 1: " + one,
+                           {.component = "fault"});
+        }
+        st.armed = true;
+        st.serialHits = 0;
+        st.fired = false;
+    }
+    gState.store(1, std::memory_order_relaxed);
+}
+
+/** Recomputes gState from the registry; caller holds gMu. */
+void
+refreshStateLocked()
+{
+    if (gState.load(std::memory_order_relaxed) == 2)
+        return; // env still pending; keep the slow path live
+    for (const auto& [site, st] : registry()) {
+        if (st.armed) {
+            gState.store(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+    gState.store(0, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+hitSlow(const char* site)
+{
+    FaultSpec to_throw;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lk(gMu);
+        parseEnvLocked();
+        if (gState.load(std::memory_order_relaxed) == 0)
+            return;
+        auto it = registry().find(site);
+        if (it == registry().end())
+            return;
+        SiteState& st = it->second;
+        const int64_t chunk = currentChunkOrdinal();
+        int64_t ordinal;
+        if (chunk >= 0) {
+            // Positional ordinal: deterministic for any thread count.
+            ordinal = chunk + 1;
+        } else {
+            ordinal = ++st.serialHits;
+        }
+        if (st.armed && !st.fired && ordinal == st.spec.nth) {
+            st.fired = true;
+            to_throw = st.spec;
+            fire = true;
+        }
+    }
+    if (fire) {
+        throw DtcError(to_throw.code,
+                       "fault injected (hit " +
+                           std::to_string(to_throw.nth) + ")",
+                       {.component = to_throw.site});
+    }
+}
+
+} // namespace detail
+
+void
+arm(const std::string& site, int64_t nth, ErrorCode code)
+{
+    DTC_CHECK_CODE(nth >= 1, ErrorCode::InvalidInput,
+                   "fault nth must be >= 1, got " << nth);
+    std::lock_guard<std::mutex> lk(detail::gMu);
+    detail::SiteState& st = detail::registry()[site];
+    st.spec = {site, nth, code};
+    st.armed = true;
+    st.serialHits = 0;
+    st.fired = false;
+    detail::gState.store(1, std::memory_order_relaxed);
+}
+
+void
+armFromSpec(const std::string& spec)
+{
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string one = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        const size_t c1 = one.find(':');
+        const size_t c2 = c1 == std::string::npos
+                              ? std::string::npos
+                              : one.find(':', c1 + 1);
+        DTC_CHECK_CODE(c1 != std::string::npos &&
+                           c2 != std::string::npos,
+                       ErrorCode::InvalidInput,
+                       "fault spec entry is not <site>:<nth>:<code>: "
+                           << one);
+        const int64_t nth =
+            std::strtoll(one.substr(c1 + 1).c_str(), nullptr, 10);
+        arm(one.substr(0, c1), nth,
+            parseErrorCode(one.substr(c2 + 1)));
+    }
+}
+
+void
+disarm(const std::string& site)
+{
+    std::lock_guard<std::mutex> lk(detail::gMu);
+    auto it = detail::registry().find(site);
+    if (it != detail::registry().end())
+        it->second.armed = false;
+    detail::refreshStateLocked();
+}
+
+void
+disarmAll()
+{
+    std::lock_guard<std::mutex> lk(detail::gMu);
+    detail::registry().clear();
+    if (detail::gState.load(std::memory_order_relaxed) != 2)
+        detail::gState.store(0, std::memory_order_relaxed);
+}
+
+int64_t
+hitCount(const std::string& site)
+{
+    std::lock_guard<std::mutex> lk(detail::gMu);
+    auto it = detail::registry().find(site);
+    return it == detail::registry().end() ? 0
+                                          : it->second.serialHits;
+}
+
+std::vector<FaultSpec>
+armedFaults()
+{
+    std::lock_guard<std::mutex> lk(detail::gMu);
+    std::vector<FaultSpec> out;
+    for (const auto& [site, st] : detail::registry()) {
+        if (st.armed)
+            out.push_back(st.spec);
+    }
+    return out;
+}
+
+void
+reloadFromEnv()
+{
+    {
+        std::lock_guard<std::mutex> lk(detail::gMu);
+        detail::registry().clear();
+        detail::gState.store(2, std::memory_order_relaxed);
+    }
+    // Parse eagerly so bad specs surface here, not at a random site.
+    std::lock_guard<std::mutex> lk(detail::gMu);
+    detail::parseEnvLocked();
+}
+
+} // namespace fault
+} // namespace dtc

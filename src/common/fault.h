@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * Code marks failure-capable sites with DTC_FAULT_POINT("name"); a
+ * disarmed fault point costs one relaxed atomic load and a predicted
+ * branch (see bench_micro_host's BM_FaultPointDisarmed row).  Armed —
+ * programmatically via fault::arm() / ScopedFault, or from the
+ * environment via
+ *
+ *     DTC_FAULT=<site>:<nth>:<code>[,<site>:<nth>:<code>...]
+ *     e.g.  DTC_FAULT=tuner.prepare:1:ResourceExhausted
+ *
+ * — the site throws DtcError(code) on its Nth hit (1-based), exactly
+ * once per arming.
+ *
+ * Determinism contract:
+ *   - Outside parallel regions, hits are counted per site in program
+ *     order, so the Nth hit is the Nth call — deterministic.
+ *   - Inside a parallelFor chunk, a hit's ordinal is the chunk's
+ *     ordinal + 1 in the deterministic (begin, end, grain)
+ *     decomposition — NOT its racy arrival order — so arming nth=K
+ *     fires in chunk K-1 for every thread count, and parallelFor
+ *     surfaces the same typed error at threads=1 and threads=8.
+ *     (All hits within one chunk share the chunk's ordinal; the
+ *     first to fire unwinds the chunk.)
+ */
+#ifndef DTC_COMMON_FAULT_H
+#define DTC_COMMON_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dtc {
+namespace fault {
+
+/** One armed fault. */
+struct FaultSpec
+{
+    std::string site; ///< DTC_FAULT_POINT name to fire at.
+    int64_t nth = 1;  ///< 1-based hit ordinal to fire on.
+    ErrorCode code = ErrorCode::Internal; ///< Code of the DtcError.
+};
+
+/**
+ * Arms @p site to throw DtcError(@p code) on its @p nth hit.
+ * Re-arming a site replaces its spec and resets its hit counter.
+ */
+void arm(const std::string& site, int64_t nth, ErrorCode code);
+
+/** Arms from a "<site>:<nth>:<code>[,...]" spec (DTC_FAULT syntax). */
+void armFromSpec(const std::string& spec);
+
+/** Disarms one site (counter kept for hitCount()). */
+void disarm(const std::string& site);
+
+/** Disarms every site and clears all hit counters. */
+void disarmAll();
+
+/**
+ * Serial-order hits observed at @p site while *any* fault was armed
+ * (disarmed fault points skip all bookkeeping, so this is 0 unless
+ * the subsystem was active).  Chunk-ordinal (parallel) hits are not
+ * counted — their ordinal is positional, not cumulative.
+ */
+int64_t hitCount(const std::string& site);
+
+/** Currently armed faults (for diagnostics). */
+std::vector<FaultSpec> armedFaults();
+
+/**
+ * Re-reads DTC_FAULT after disarming everything.  The environment is
+ * otherwise parsed once, on the first hit.
+ */
+void reloadFromEnv();
+
+namespace detail {
+
+/** 0 = disarmed, 1 = armed, 2 = environment not yet parsed. */
+extern std::atomic<int> gState;
+
+/** Slow path: parses the env on first use, counts, maybe throws. */
+void hitSlow(const char* site);
+
+} // namespace detail
+
+/** Fault-point probe (prefer the DTC_FAULT_POINT macro). */
+inline void
+hit(const char* site)
+{
+    if (detail::gState.load(std::memory_order_relaxed) == 0)
+        return;
+    detail::hitSlow(site);
+}
+
+/** RAII arming for tests: arms in ctor, disarms the site in dtor. */
+class ScopedFault
+{
+  public:
+    ScopedFault(const std::string& site, int64_t nth, ErrorCode code)
+        : armedSite(site)
+    {
+        arm(site, nth, code);
+    }
+    ~ScopedFault() { disarm(armedSite); }
+
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+
+  private:
+    std::string armedSite;
+};
+
+} // namespace fault
+} // namespace dtc
+
+/** Names a failure-capable site; zero-cost while disarmed. */
+#define DTC_FAULT_POINT(site) ::dtc::fault::hit(site)
+
+#endif // DTC_COMMON_FAULT_H

@@ -13,6 +13,21 @@ namespace {
 
 thread_local int tlsNumThreadsOverride = 0;
 thread_local bool tlsInsidePoolTask = false;
+thread_local int64_t tlsChunkOrdinal = -1;
+
+/** RAII chunk-ordinal marker; exception-safe, nests (inner wins). */
+class ChunkOrdinalScope
+{
+  public:
+    explicit ChunkOrdinalScope(int64_t ordinal) : prev(tlsChunkOrdinal)
+    {
+        tlsChunkOrdinal = ordinal;
+    }
+    ~ChunkOrdinalScope() { tlsChunkOrdinal = prev; }
+
+  private:
+    int64_t prev;
+};
 
 } // namespace
 
@@ -147,6 +162,12 @@ defaultNumThreads()
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int64_t
+currentChunkOrdinal()
+{
+    return tlsChunkOrdinal;
+}
+
 int
 currentNumThreads()
 {
@@ -183,6 +204,7 @@ parallelFor(int64_t begin, int64_t end, int64_t grain,
     if (threads <= 1 || num_chunks == 1 || ThreadPool::insideTask()) {
         for (int64_t c = 0; c < num_chunks; ++c) {
             const int64_t b = begin + c * g;
+            ChunkOrdinalScope scope(c);
             body(b, std::min(b + g, end));
         }
         return;
@@ -201,6 +223,7 @@ parallelFor(int64_t begin, int64_t end, int64_t grain,
             return;
         const int64_t b = begin + c * g;
         try {
+            ChunkOrdinalScope scope(c);
             body(b, std::min(b + g, end));
         } catch (...) {
             std::lock_guard<std::mutex> lk(err_mu);

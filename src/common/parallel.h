@@ -107,6 +107,15 @@ class ThreadPool
  */
 int currentNumThreads();
 
+/**
+ * Ordinal of the parallelFor chunk executing on this thread, or -1
+ * outside any chunk.  The ordinal is the chunk's position in the
+ * deterministic decomposition of (begin, end, grain) — identical for
+ * every thread count — which is what lets fault injection
+ * (common/fault.h) fire deterministically inside parallel regions.
+ */
+int64_t currentChunkOrdinal();
+
 /** Thread count from DTC_NUM_THREADS / hardware, ignoring overrides. */
 int defaultNumThreads();
 

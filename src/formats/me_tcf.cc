@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "matrix/coo.h"
 
@@ -21,6 +22,7 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
 {
     DTC_CHECK_MSG(shape.windowHeight * shape.blockWidth <= 256,
                   "TC block too large for 8-bit local ids");
+    DTC_FAULT_POINT("me_tcf.convert");
     SgtResult sgt = sgtCondense(m, shape);
 
     MeTcfMatrix t;

@@ -5,7 +5,9 @@
 #include <istream>
 #include <ostream>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace dtc {
 
@@ -80,20 +82,83 @@ class Writer
     Checksum sum;
 };
 
-/** Binary reader with checksum verification. */
+/**
+ * Binary reader, hardened against corrupt and hostile streams.
+ *
+ * The constructor slurps the stream (bounded by the staging budget),
+ * verifies the trailing checksum over the whole payload *first*, and
+ * only then serves pod()/vec() reads out of the buffer.  Array length
+ * prefixes are validated against the actual remaining payload bytes —
+ * never trusted for allocation — so a bit-flipped or hostile u64
+ * length cannot trigger a multi-GB resize: it either fails the
+ * checksum or exceeds the remaining-byte bound, both CorruptData.
+ */
 class Reader
 {
   public:
-    Reader(std::istream& in, const char magic[8]) : stream(in)
+    Reader(std::istream& in, const char magic[8])
     {
         char got[8];
-        stream.read(got, 8);
-        DTC_CHECK_MSG(stream.good() &&
-                          std::memcmp(got, magic, 8) == 0,
-                      "bad magic: not a " << magic << " file");
+        in.read(got, 8);
+        if (!in.good() || std::memcmp(got, magic, 8) != 0) {
+            DTC_RAISE_CTX(ErrorCode::CorruptData,
+                          "bad magic: not a " << magic << " file",
+                          (ErrorContext{.component = "serialize",
+                                        .byteOffset = 0}));
+        }
+
+        // Slurp the rest in budget-capped slabs; a stream longer than
+        // the staging budget is refused before the buffer grows past
+        // it.
+        const int64_t cap = ResourceBudget::current().stagingBytes;
+        constexpr size_t kSlab = 1 << 20;
+        while (in.good()) {
+            const size_t old = buf.size();
+            if (static_cast<int64_t>(old) > cap) {
+                DTC_RAISE_CTX(
+                    ErrorCode::ResourceExhausted,
+                    "stream exceeds the staging budget of "
+                        << cap << " bytes",
+                    (ErrorContext{.component = "serialize"}));
+            }
+            buf.resize(old + kSlab);
+            in.read(buf.data() + old,
+                    static_cast<std::streamsize>(kSlab));
+            buf.resize(old + static_cast<size_t>(in.gcount()));
+            if (in.gcount() == 0)
+                break;
+        }
+        DTC_CHECK_CODE(static_cast<int64_t>(buf.size()) <= cap,
+                       ErrorCode::ResourceExhausted,
+                       "stream exceeds the staging budget of "
+                           << cap << " bytes");
+
+        // Checksum before interpreting anything: the last 8 bytes
+        // must be the FNV-1a of everything before them.
+        if (buf.size() < sizeof(uint64_t) + sizeof(uint32_t)) {
+            DTC_RAISE_CTX(ErrorCode::CorruptData,
+                          "truncated stream (no room for header and "
+                          "checksum)",
+                          (ErrorContext{.component = "serialize",
+                                        .byteOffset = offset()}));
+        }
+        payloadEnd = buf.size() - sizeof(uint64_t);
+        uint64_t stored = 0;
+        std::memcpy(&stored, buf.data() + payloadEnd,
+                    sizeof(stored));
+        Checksum sum;
+        sum.feed(buf.data(), payloadEnd);
+        if (stored != sum.value()) {
+            DTC_RAISE_CTX(ErrorCode::CorruptData,
+                          "checksum mismatch (corrupt file)",
+                          (ErrorContext{.component = "serialize",
+                                        .byteOffset = static_cast<
+                                            int64_t>(payloadEnd)}));
+        }
+
         const uint32_t version = pod<uint32_t>();
-        DTC_CHECK_MSG(version == kVersion,
-                      "unsupported version " << version);
+        DTC_CHECK_CODE(version == kVersion, ErrorCode::Unsupported,
+                       "unsupported version " << version);
     }
 
     template <typename T>
@@ -101,24 +166,36 @@ class Reader
     pod()
     {
         T v{};
-        stream.read(reinterpret_cast<char*>(&v), sizeof(T));
-        DTC_CHECK_MSG(stream.good(), "truncated stream");
-        sum.feed(&v, sizeof(T));
+        need(sizeof(T));
+        std::memcpy(&v, buf.data() + pos, sizeof(T));
+        pos += sizeof(T);
         return v;
     }
 
     template <typename T>
     std::vector<T>
-    vec(uint64_t max_len = (1ull << 33))
+    vec()
     {
+        DTC_FAULT_POINT("serialize.read_array");
         const uint64_t len = pod<uint64_t>();
-        DTC_CHECK_MSG(len <= max_len, "implausible array length");
+        // Remaining-byte bound, computed without len*sizeof(T)
+        // overflow.
+        const uint64_t remaining = payloadEnd - pos;
+        if (len > remaining / sizeof(T)) {
+            DTC_RAISE_CTX(
+                ErrorCode::CorruptData,
+                "array length " << len << " exceeds the "
+                    << remaining << " remaining payload bytes",
+                (ErrorContext{.component = "serialize",
+                              .byteOffset = offset()}));
+        }
+        ResourceBudget::current().checkStaging(
+            static_cast<int64_t>(len * sizeof(T)), "serialize");
         std::vector<T> v(static_cast<size_t>(len));
         if (len > 0) {
-            stream.read(reinterpret_cast<char*>(v.data()),
-                        static_cast<std::streamsize>(len * sizeof(T)));
-            DTC_CHECK_MSG(stream.good(), "truncated stream");
-            sum.feed(v.data(), v.size() * sizeof(T));
+            std::memcpy(v.data(), buf.data() + pos,
+                        len * sizeof(T));
+            pos += len * sizeof(T);
         }
         return v;
     }
@@ -126,15 +203,34 @@ class Reader
     void
     finish()
     {
-        uint64_t stored = 0;
-        stream.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-        DTC_CHECK_MSG(stream.good() && stored == sum.value(),
-                      "checksum mismatch (corrupt file)");
+        // The checksum was verified up front; here we only reject
+        // payload bytes no field accounted for.
+        DTC_CHECK_CODE(pos == payloadEnd, ErrorCode::CorruptData,
+                       "trailing garbage: " << (payloadEnd - pos)
+                           << " unread payload bytes");
     }
 
   private:
-    std::istream& stream;
-    Checksum sum;
+    /** Stream offset of the cursor (magic included), for context. */
+    int64_t
+    offset() const
+    {
+        return static_cast<int64_t>(pos) + 8;
+    }
+
+    void
+    need(size_t bytes)
+    {
+        if (payloadEnd - pos < bytes) {
+            DTC_RAISE_CTX(ErrorCode::CorruptData, "truncated stream",
+                          (ErrorContext{.component = "serialize",
+                                        .byteOffset = offset()}));
+        }
+    }
+
+    std::vector<char> buf; ///< Everything after the magic.
+    size_t pos = 0;        ///< Cursor into buf.
+    size_t payloadEnd = 0; ///< Payload bytes (buf minus checksum).
 };
 
 } // namespace
@@ -161,9 +257,22 @@ loadCsr(std::istream& in)
     auto col_idx = r.vec<int32_t>();
     auto values = r.vec<float>();
     r.finish();
-    return CsrMatrix::fromParts(rows, cols, std::move(row_ptr),
-                                std::move(col_idx),
-                                std::move(values));
+    // A stream can pass the checksum yet violate CSR invariants (it
+    // was written corrupt, or crafted); that is corrupt *data*, not a
+    // library bug — re-type validation failures accordingly.
+    try {
+        return CsrMatrix::fromParts(rows, cols, std::move(row_ptr),
+                                    std::move(col_idx),
+                                    std::move(values));
+    } catch (const DtcError&) {
+        throw;
+    } catch (const std::exception& e) {
+        DTC_RAISE_CTX(ErrorCode::CorruptData,
+                      "stream violates CSR invariants: " << e.what(),
+                      (ErrorContext{.component = "serialize",
+                                    .rows = rows,
+                                    .cols = cols}));
+    }
 }
 
 void
@@ -197,9 +306,23 @@ loadMeTcf(std::istream& in)
     auto atob = r.vec<int32_t>();
     auto vals = r.vec<float>();
     r.finish();
-    return MeTcfMatrix::fromParts(rows, cols, shape, std::move(rwo),
-                                  std::move(tco), std::move(lid),
-                                  std::move(atob), std::move(vals));
+    // See loadCsr: invariant violations in a checksum-valid stream
+    // are corrupt data, not internal errors.
+    try {
+        return MeTcfMatrix::fromParts(rows, cols, shape,
+                                      std::move(rwo), std::move(tco),
+                                      std::move(lid), std::move(atob),
+                                      std::move(vals));
+    } catch (const DtcError&) {
+        throw;
+    } catch (const std::exception& e) {
+        DTC_RAISE_CTX(
+            ErrorCode::CorruptData,
+            "stream violates ME-TCF invariants: " << e.what(),
+            (ErrorContext{.component = "serialize",
+                          .rows = rows,
+                          .cols = cols}));
+    }
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 
 namespace dtc {
@@ -45,6 +46,10 @@ sgtCondense(const CsrMatrix& m, TcBlockShape shape)
 
     parallelFor(0, res.numWindows, kWindowGrain,
                 [&](int64_t w_lo, int64_t w_hi) {
+        // Per-chunk fault point: fires by deterministic chunk ordinal
+        // (common/fault.h), so injected failures here are identical
+        // at any thread count.
+        DTC_FAULT_POINT("sgt.condense.chunk");
         std::vector<int32_t>& out =
             chunk_cols[static_cast<size_t>(w_lo / kWindowGrain)];
         std::vector<int32_t> scratch;

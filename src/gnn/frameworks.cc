@@ -63,8 +63,10 @@ estimateGcnTraining(const CsrMatrix& a, GnnFramework fw,
     DTC_CHECK(cfg.epochs > 0);
     const FrameworkProfile prof = frameworkProfile(fw);
     auto kernel = makeKernel(prof.spmmKernel);
-    const std::string err = kernel->prepare(a);
-    DTC_CHECK_MSG(err.empty(), kernel->name() << ": " << err);
+    const Refusal r = kernel->prepare(a);
+    if (!r.ok()) {
+        DTC_RAISE(r.code, kernel->name() << ": " << r.reason);
+    }
 
     const CostModel cm(arch);
     const double spmm_in =

@@ -1,6 +1,10 @@
 #include "gnn/trainer.h"
 
+#include <algorithm>
+#include <iostream>
+
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "gnn/dense_ops.h"
 
@@ -15,8 +19,47 @@ GcnModel::GcnModel(const CsrMatrix& adjacency,
 {
     DTC_CHECK_MSG(adjacency.rows() == adjacency.cols(),
                   "GCN adjacency must be square");
-    const std::string err = spmm->prepare(adjacency);
-    DTC_CHECK_MSG(err.empty(), spmm->name() << ": " << err);
+    const Refusal r = spmm->prepare(adjacency);
+    if (!r.ok()) {
+        DTC_RAISE(r.code, spmm->name() << ": " << r.reason);
+    }
+}
+
+GcnModel::GcnModel(const CsrMatrix& adjacency,
+                   const TuneRequest& request, const CostModel& cm,
+                   int64_t features, const TrainerConfig& cfg)
+    : config(cfg), initRng(cfg.seed),
+      layer1(features, cfg.hidden, /*relu=*/true, initRng),
+      layer2(cfg.hidden, cfg.classes, /*relu=*/false, initRng),
+      resilient(true), adj(adjacency), tuneRequest(request),
+      costModel(std::make_unique<CostModel>(cm))
+{
+    DTC_CHECK_MSG(adjacency.rows() == adjacency.cols(),
+                  "GCN adjacency must be square");
+    remainingCandidates = tuneRequest.candidates.empty()
+                              ? defaultTuneCandidates()
+                              : tuneRequest.candidates;
+    bindTunedKernel();
+}
+
+void
+GcnModel::bindTunedKernel()
+{
+    TuneRequest req = tuneRequest;
+    req.candidates = remainingCandidates;
+    // An empty candidate list means "the default set" to the tuner;
+    // here it means every candidate already failed — let the tuner
+    // evaluate just the terminal fallback instead.
+    if (req.candidates.empty())
+        req.candidates = {KernelKind::CuSparse};
+    const TuneResult tuned = tuneSpmm(adj, req, *costModel);
+    const TuneEntry& winner = tuned.best(); // throws if nothing works
+    currentKind = winner.kind;
+    spmm = makeKernel(currentKind);
+    const Refusal r = spmm->prepare(adj);
+    if (!r.ok()) {
+        DTC_RAISE(r.code, spmm->name() << ": " << r.reason);
+    }
 }
 
 void
@@ -33,6 +76,7 @@ GcnModel::trainStep(const DenseMatrix& x,
                     const std::vector<int32_t>& labels,
                     double* accuracy_out)
 {
+    DTC_FAULT_POINT("trainer.step");
     DenseMatrix probs;
     forward(x, probs);
     if (accuracy_out)
@@ -59,7 +103,48 @@ GcnModel::train(const DenseMatrix& x,
     stats.accuracy.reserve(static_cast<size_t>(config.epochs));
     for (int e = 0; e < config.epochs; ++e) {
         double acc = 0.0;
-        stats.loss.push_back(trainStep(x, labels, &acc));
+        double loss = 0.0;
+        if (!resilient) {
+            loss = trainStep(x, labels, &acc);
+        } else {
+            // Graceful degradation: a kernel failure mid-step does
+            // not kill the run.  Exclude the failed kernel, re-tune
+            // over what remains (tuneSpmm appends the terminal
+            // cuSPARSE-like fallback if needed), re-prepare, and
+            // retry this epoch.  Bounded by the candidate count, so
+            // it cannot loop forever.
+            for (;;) {
+                try {
+                    loss = trainStep(x, labels, &acc);
+                    break;
+                } catch (const DtcError& err) {
+                    // An empty pool means the previous bind already
+                    // used the forced terminal fallback; if *that*
+                    // failed, nothing is left — propagate.
+                    if (remainingCandidates.empty())
+                        throw;
+                    FallbackEvent ev;
+                    ev.epoch = e;
+                    ev.fromKernel = spmm->name();
+                    ev.code = err.code();
+                    ev.reason = err.what();
+                    remainingCandidates.erase(
+                        std::remove(remainingCandidates.begin(),
+                                    remainingCandidates.end(),
+                                    currentKind),
+                        remainingCandidates.end());
+                    bindTunedKernel(); // rethrows if nothing is left
+                    ev.toKernel = spmm->name();
+                    std::cerr << "[dtc] trainer: epoch " << e << ": "
+                              << ev.fromKernel << " failed ("
+                              << errorCodeName(ev.code) << ": "
+                              << ev.reason << "); re-tuned onto "
+                              << ev.toKernel << "\n";
+                    stats.fallbacks.push_back(std::move(ev));
+                }
+            }
+        }
+        stats.loss.push_back(loss);
         stats.accuracy.push_back(acc);
     }
     return stats;

@@ -11,13 +11,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "gnn/gcn.h"
 #include "kernels/kernel.h"
 #include "matrix/csr.h"
 #include "matrix/dense.h"
+#include "tuner/tuner.h"
 
 namespace dtc {
 
@@ -31,11 +34,24 @@ struct TrainerConfig
     uint64_t seed = 0x6cafe;
 };
 
+/** One mid-training kernel replacement (graceful degradation). */
+struct FallbackEvent
+{
+    int epoch = 0;           ///< Epoch whose step failed.
+    std::string fromKernel;  ///< Kernel that failed.
+    std::string toKernel;    ///< Kernel re-tuned onto.
+    ErrorCode code = ErrorCode::Internal; ///< Failure taxonomy code.
+    std::string reason;      ///< The failure message.
+};
+
 /** Per-epoch record of one training run. */
 struct TrainStats
 {
     std::vector<double> loss;     ///< One entry per epoch.
     std::vector<double> accuracy; ///< One entry per epoch.
+
+    /** Kernel fallbacks that happened mid-training (usually empty). */
+    std::vector<FallbackEvent> fallbacks;
 };
 
 /**
@@ -45,12 +61,30 @@ class GcnModel
 {
   public:
     /**
+     * Binds to one fixed kernel.  Throws DtcError (carrying the
+     * refusal's code) if the kernel refuses the adjacency; this
+     * variant has no fallback pool, so a mid-training kernel failure
+     * propagates.
+     *
      * @param adjacency  square (symmetric) adjacency matrix
      * @param kernel     SpMM implementation, not yet prepared
      * @param features   node feature width
      */
     GcnModel(const CsrMatrix& adjacency,
              std::unique_ptr<SpmmKernel> kernel, int64_t features,
+             const TrainerConfig& cfg);
+
+    /**
+     * Resilient variant: tunes @p request's candidates on
+     * @p adjacency under @p cm and binds to the winner.  If the bound
+     * kernel later throws a DtcError mid-step, train() re-tunes with
+     * the failed kernel excluded, re-prepares, records a
+     * FallbackEvent, and retries the epoch — training survives any
+     * single-kernel failure as long as one candidate (or the terminal
+     * cuSPARSE-like fallback) still works.
+     */
+    GcnModel(const CsrMatrix& adjacency, const TuneRequest& request,
+             const CostModel& cm, int64_t features,
              const TrainerConfig& cfg);
 
     /** Forward pass producing class probabilities. */
@@ -64,18 +98,33 @@ class GcnModel
                      const std::vector<int32_t>& labels,
                      double* accuracy_out);
 
-    /** Trains for cfg.epochs epochs. */
+    /**
+     * Trains for cfg.epochs epochs.  With the resilient constructor,
+     * kernel failures are absorbed via re-tuning (see above) and
+     * reported in TrainStats::fallbacks.
+     */
     TrainStats train(const DenseMatrix& x,
                      const std::vector<int32_t>& labels);
 
     const SpmmKernel& kernel() const { return *spmm; }
 
   private:
+    /** Tunes over remainingCandidates and binds the winner. */
+    void bindTunedKernel();
+
     std::unique_ptr<SpmmKernel> spmm;
     TrainerConfig config;
     Rng initRng; ///< Weight-init stream; must precede the layers.
     GcnLayer layer1;
     GcnLayer layer2;
+
+    // Resilient-mode state (empty/null for the fixed-kernel ctor).
+    bool resilient = false;
+    CsrMatrix adj;                  ///< Adjacency copy for re-prepare.
+    TuneRequest tuneRequest;        ///< Width/iterations for re-tune.
+    std::unique_ptr<CostModel> costModel;
+    std::vector<KernelKind> remainingCandidates;
+    KernelKind currentKind = KernelKind::CuSparse;
 
     // Scratch tensors reused across steps.
     DenseMatrix h1, logits, gradLogits, gradH1, gradX;

@@ -17,26 +17,26 @@ BlockSpmmKernel::name() const
     return os.str();
 }
 
-std::string
+Refusal
 BlockSpmmKernel::prepare(const CsrMatrix& a)
 {
-    // Device memory bounds the padded BELL footprint (paper: BELL
-    // padding "can lead to OOM issues on large-scale matrices").
+    // The conversion budget bounds the padded BELL footprint (paper:
+    // BELL padding "can lead to OOM issues on large-scale matrices").
     // Structure only: the padded value array is materialized lazily
     // by compute(), so cost-model sweeps never allocate it.
-    BellBuildResult res =
-        bellTryBuild(a, blockSize, ArchSpec::rtx4090().deviceMemBytes,
-                     /*materialize_values=*/false);
+    BellBuildResult res = bellTryBuild(
+        a, blockSize, ResourceBudget::current().conversionBytes,
+        /*materialize_values=*/false);
     if (res.oom) {
         std::ostringstream os;
         os << "OOM: BELL needs "
            << res.projectedBytes / (1024 * 1024) << " MiB padded";
-        return os.str();
+        return Refusal::refuse(ErrorCode::ResourceExhausted, os.str());
     }
     mat = std::move(res.matrix);
     src = a;
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void
@@ -48,7 +48,7 @@ BlockSpmmKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     // Materialize the padded values now (functional paths only run
     // on matrices small enough for the full array).
     BellBuildResult full = bellTryBuild(
-        src, blockSize, ArchSpec::rtx4090().deviceMemBytes);
+        src, blockSize, ResourceBudget::current().conversionBytes);
     DTC_ASSERT(!full.oom);
     const BellMatrix& m = full.matrix;
 

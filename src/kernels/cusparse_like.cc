@@ -8,12 +8,16 @@
 
 namespace dtc {
 
-std::string
+Refusal
 CuSparseKernel::prepare(const CsrMatrix& a)
 {
+    // cuSPARSE consumes CSR directly — no conversion allocation, so
+    // no budget gate: this is the guaranteed-supported terminal
+    // fallback of the tuner's candidate chain (an input whose own CSR
+    // arrays don't fit memory could never have been built).
     mat = a;
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

@@ -24,7 +24,7 @@ class CuSparseKernel : public SpmmKernel
     static constexpr int64_t kRowsPerTb = 64;
 
     std::string name() const override { return "cuSPARSE-SpMM"; }
-    std::string prepare(const CsrMatrix& a) override;
+    Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
     LaunchResult cost(int64_t n, const CostModel& cm) const override;

@@ -44,14 +44,19 @@ DtcKernel::name() const
     return os.str();
 }
 
-std::string
+Refusal
 DtcKernel::prepare(const CsrMatrix& a)
 {
-    if (opts.precision == Precision::Fp32)
-        return "FP32 is not a tensor-core precision";
+    if (opts.precision == Precision::Fp32) {
+        return Refusal::refuse(ErrorCode::Unsupported,
+                               "FP32 is not a tensor-core precision");
+    }
+    if (Refusal r = refuseIfOverConversionBudget(a, "ME-TCF");
+        !r.ok())
+        return r;
     format = MeTcfMatrix::build(a);
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

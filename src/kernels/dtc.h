@@ -82,7 +82,7 @@ class DtcKernel : public SpmmKernel
     explicit DtcKernel(DtcOptions options = {}) : opts(options) {}
 
     std::string name() const override;
-    std::string prepare(const CsrMatrix& a) override;
+    Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
     LaunchResult cost(int64_t n, const CostModel& cm) const override;

@@ -17,20 +17,25 @@ FlashLlmKernel::name() const
     return os.str();
 }
 
-std::string
+Refusal
 FlashLlmKernel::prepare(const CsrMatrix& a)
 {
-    // Conversion stages the matrix uncompressed (dense) first.
+    // Conversion stages the matrix uncompressed (dense) first; the
+    // staging budget (host RAM) bounds it.
     const double dense_bytes = static_cast<double>(a.rows()) *
                                static_cast<double>(a.cols()) * 4.0;
-    if (dense_bytes >
-        static_cast<double>(ArchSpec::rtx4090().hostMemBytes)) {
+    if (dense_bytes > static_cast<double>(
+                          ResourceBudget::current().stagingBytes)) {
         std::ostringstream os;
         os << "OOM: dense staging needs "
            << static_cast<int64_t>(dense_bytes / (1024 * 1024))
            << " MiB";
-        return os.str();
+        return Refusal::refuse(ErrorCode::ResourceExhausted, os.str());
     }
+    // The Tiled-CSL format itself must fit device memory.
+    if (Refusal r = refuseIfOverConversionBudget(a, "Tiled-CSL");
+        !r.ok())
+        return r;
 
     mat = a;
     const int64_t tile_rows = (a.rows() + kTile - 1) / kTile;
@@ -51,7 +56,7 @@ FlashLlmKernel::prepare(const CsrMatrix& a)
         tiles[static_cast<size_t>(tr)] = scratch;
     }
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

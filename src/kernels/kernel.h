@@ -13,7 +13,11 @@
  * prepare() performs the format conversion a real library would do
  * once per matrix; it can refuse the input the way the corresponding
  * baseline does (Block-SpMM OOM, SparTA dimension limit, Flash-LLM
- * dense-staging OOM), returning a non-empty reason.
+ * dense-staging OOM), returning a structured Refusal whose ErrorCode
+ * tells callers *why* (ResourceExhausted vs Unsupported) — the
+ * machine-readable form of Table 4's refusal cells.  Byte and
+ * dimension limits come from ResourceBudget::current(), not
+ * hard-coded constants.
  */
 #ifndef DTC_KERNELS_KERNEL_H
 #define DTC_KERNELS_KERNEL_H
@@ -22,6 +26,8 @@
 #include <memory>
 #include <string>
 
+#include "common/budget.h"
+#include "common/error.h"
 #include "gpusim/cost_model.h"
 #include "matrix/csr.h"
 #include "matrix/dense.h"
@@ -39,10 +45,11 @@ class SpmmKernel
 
     /**
      * Converts @p a into the kernel's storage format.
-     * @return empty string on success, else the refusal reason
-     *         (e.g. "OOM", "Not Supported").
+     * @return Refusal::accept() on success, else the refusal code +
+     *         reason (e.g. ResourceExhausted "OOM", Unsupported
+     *         "Not Supported").
      */
-    virtual std::string prepare(const CsrMatrix& a) = 0;
+    virtual Refusal prepare(const CsrMatrix& a) = 0;
 
     /** True once prepare() succeeded. */
     virtual bool prepared() const = 0;
@@ -78,6 +85,18 @@ enum class KernelKind
 
 /** Display name of a kernel kind. */
 const char* kernelKindName(KernelKind kind);
+
+/** Device bytes of @p a's CSR arrays (rowPtr + colIdx + values). */
+int64_t csrFootprintBytes(const CsrMatrix& a);
+
+/**
+ * Shared prepare() gate: a format at least as large as the input's
+ * CSR arrays must fit the conversion budget.  Returns the
+ * ResourceExhausted refusal when it cannot, Refusal::accept()
+ * otherwise.  @p kernel_name labels the reason.
+ */
+Refusal refuseIfOverConversionBudget(const CsrMatrix& a,
+                                     const char* kernel_name);
 
 /** Creates a kernel instance. */
 std::unique_ptr<SpmmKernel> makeKernel(KernelKind kind);

@@ -1,5 +1,7 @@
 #include "kernels/kernel.h"
 
+#include <sstream>
+
 #include "common/check.h"
 #include "kernels/block_spmm.h"
 #include "kernels/cusparse_like.h"
@@ -47,6 +49,28 @@ kernelKindName(KernelKind kind)
         return "SparTA";
     }
     return "?";
+}
+
+int64_t
+csrFootprintBytes(const CsrMatrix& a)
+{
+    return (a.rows() + 1) * 8 + a.nnz() * (4 + 4);
+}
+
+Refusal
+refuseIfOverConversionBudget(const CsrMatrix& a,
+                             const char* kernel_name)
+{
+    const int64_t bytes = csrFootprintBytes(a);
+    const ResourceBudget& budget = ResourceBudget::current();
+    if (!budget.allowsConversion(bytes)) {
+        std::ostringstream os;
+        os << "OOM: " << kernel_name << " format needs at least "
+           << bytes / (1024 * 1024) << " MiB, conversion budget is "
+           << budget.conversionBytes / (1024 * 1024) << " MiB";
+        return Refusal::refuse(ErrorCode::ResourceExhausted, os.str());
+    }
+    return Refusal::accept();
 }
 
 std::unique_ptr<SpmmKernel>

@@ -7,9 +7,12 @@
 
 namespace dtc {
 
-std::string
+Refusal
 SparseTirKernel::prepare(const CsrMatrix& a)
 {
+    if (Refusal r = refuseIfOverConversionBudget(a, "SparseTIR");
+        !r.ok())
+        return r;
     mat = a;
     segBuckets.clear();
     for (int64_t r = 0; r < a.rows(); ++r) {
@@ -31,7 +34,7 @@ SparseTirKernel::prepare(const CsrMatrix& a)
         }
     }
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

@@ -42,7 +42,7 @@ class SparseTirKernel : public SpmmKernel
     };
 
     std::string name() const override { return "SparseTIR"; }
-    std::string prepare(const CsrMatrix& a) override;
+    Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
     LaunchResult cost(int64_t n, const CostModel& cm) const override;

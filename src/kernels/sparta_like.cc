@@ -8,11 +8,16 @@
 
 namespace dtc {
 
-std::string
+Refusal
 SpartaKernel::prepare(const CsrMatrix& a)
 {
-    if (a.rows() > kDimLimit || a.cols() > kDimLimit)
-        return "Not Supported: dimensions exceed the cuSPARSELt limit";
+    const int64_t dim_limit =
+        ResourceBudget::current().maxStructuredDim;
+    if (a.rows() > dim_limit || a.cols() > dim_limit) {
+        return Refusal::refuse(
+            ErrorCode::Unsupported,
+            "Not Supported: dimensions exceed the cuSPARSELt limit");
+    }
 
     mat = a;
     nnz24 = 0;
@@ -34,7 +39,7 @@ SpartaKernel::prepare(const CsrMatrix& a)
         }
     }
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

@@ -23,11 +23,15 @@ namespace dtc {
 class SpartaKernel : public SpmmKernel
 {
   public:
-    /** Dimension limit of the cuSPARSELt path (scaled; see above). */
+    /**
+     * Default dimension limit of the cuSPARSELt path (scaled; see
+     * above).  prepare() consults ResourceBudget::current()
+     * .maxStructuredDim, whose default equals this constant.
+     */
     static constexpr int64_t kDimLimit = 5000;
 
     std::string name() const override { return "SparTA"; }
-    std::string prepare(const CsrMatrix& a) override;
+    Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
     LaunchResult cost(int64_t n, const CostModel& cm) const override;

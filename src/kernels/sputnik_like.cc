@@ -9,15 +9,20 @@
 
 namespace dtc {
 
-std::string
+Refusal
 SputnikKernel::prepare(const CsrMatrix& a)
 {
     // int32 index-space limit of the real library (NNZ and row
     // offsets are computed in int32).
     if (a.nnz() > std::numeric_limits<int32_t>::max() ||
         a.rows() > std::numeric_limits<int32_t>::max()) {
-        return "int32 index overflow (segfault in real Sputnik)";
+        return Refusal::refuse(
+            ErrorCode::Unsupported,
+            "int32 index overflow (segfault in real Sputnik)");
     }
+    if (Refusal r = refuseIfOverConversionBudget(a, "Sputnik");
+        !r.ok())
+        return r;
     mat = a;
     swizzle.resize(static_cast<size_t>(a.rows()));
     std::iota(swizzle.begin(), swizzle.end(), 0);
@@ -26,7 +31,7 @@ SputnikKernel::prepare(const CsrMatrix& a)
                          return mat.rowLength(x) > mat.rowLength(y);
                      });
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

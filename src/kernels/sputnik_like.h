@@ -33,7 +33,7 @@ class SputnikKernel : public SpmmKernel
     static constexpr int64_t kTilesPerTb = 4;
 
     std::string name() const override { return "Sputnik"; }
-    std::string prepare(const CsrMatrix& a) override;
+    Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
     LaunchResult cost(int64_t n, const CostModel& cm) const override;

@@ -9,15 +9,20 @@
 
 namespace dtc {
 
-std::string
+Refusal
 TcgnnKernel::prepare(const CsrMatrix& a)
 {
-    if (a.rows() != a.cols())
-        return "TCGNN-SpMM cannot handle non-square matrices";
+    if (a.rows() != a.cols()) {
+        return Refusal::refuse(
+            ErrorCode::Unsupported,
+            "TCGNN-SpMM cannot handle non-square matrices");
+    }
+    if (Refusal r = refuseIfOverConversionBudget(a, "TCF"); !r.ok())
+        return r;
     format = TcfMatrix::build(a);
     sgt = sgtCondense(a);
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

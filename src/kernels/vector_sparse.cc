@@ -17,12 +17,14 @@ VectorSparseKernel::name() const
     return os.str();
 }
 
-std::string
+Refusal
 VectorSparseKernel::prepare(const CsrMatrix& a)
 {
+    if (Refusal r = refuseIfOverConversionBudget(a, "CVSE"); !r.ok())
+        return r;
     mat = CvseMatrix::build(a, vecLen);
     ready = true;
-    return "";
+    return Refusal::accept();
 }
 
 void

@@ -25,7 +25,7 @@ class VectorSparseKernel : public SpmmKernel
     explicit VectorSparseKernel(int64_t vec_len) : vecLen(vec_len) {}
 
     std::string name() const override;
-    std::string prepare(const CsrMatrix& a) override;
+    Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
     LaunchResult cost(int64_t n, const CostModel& cm) const override;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "common/budget.h"
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace dtc {
 
@@ -20,13 +24,36 @@ lower(std::string s)
     return s;
 }
 
+/** True if the stream holds nothing but whitespace past the cursor. */
+bool
+onlyWhitespaceLeft(std::istream& s)
+{
+    char c;
+    while (s.get(c)) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+[[noreturn]] void
+raiseMm(const std::string& msg, int64_t rows = -1, int64_t cols = -1)
+{
+    DTC_RAISE_CTX(ErrorCode::InvalidInput, msg,
+                  (ErrorContext{.component = "mm_io",
+                                .rows = rows,
+                                .cols = cols}));
+}
+
 } // namespace
 
 CooMatrix
 readMatrixMarket(std::istream& in)
 {
+    DTC_FAULT_POINT("mm_io.read");
     std::string line;
-    DTC_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+    if (!std::getline(in, line))
+        raiseMm("empty Matrix Market stream");
 
     std::istringstream header(line);
     std::string banner, object, fmt, field, symmetry;
@@ -52,28 +79,57 @@ readMatrixMarket(std::istream& in)
     std::istringstream dims(line);
     int64_t rows = 0, cols = 0, entries = 0;
     dims >> rows >> cols >> entries;
-    DTC_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
-                  "bad size line: " << line);
+    if (dims.fail() || rows <= 0 || cols <= 0 || entries < 0 ||
+        !onlyWhitespaceLeft(dims)) {
+        raiseMm("bad size line: " + line);
+    }
+    // Indices are stored as int32, so dimensions past INT32_MAX
+    // cannot be represented — refuse rather than truncate.
+    constexpr int64_t kMaxDim = std::numeric_limits<int32_t>::max();
+    if (rows > kMaxDim || cols > kMaxDim) {
+        raiseMm("dimensions exceed the int32 index range", rows,
+                cols);
+    }
+
+    const int64_t stored =
+        entries * (symmetry == "symmetric" ? 2 : 1);
+    // COO entry: int32 row + int32 col + float value.
+    ResourceBudget::current().checkStaging(stored * 12, "mm_io");
 
     CooMatrix m(rows, cols);
-    m.reserve(static_cast<size_t>(entries) *
-              (symmetry == "symmetric" ? 2 : 1));
+    m.reserve(static_cast<size_t>(stored));
     for (int64_t i = 0; i < entries; ++i) {
-        DTC_CHECK_MSG(std::getline(in, line),
-                      "truncated file at entry " << i);
+        if (!std::getline(in, line)) {
+            raiseMm("truncated file at entry " +
+                        std::to_string(i),
+                    rows, cols);
+        }
         std::istringstream es(line);
         int64_t r = 0, c = 0;
         double v = 1.0;
         es >> r >> c;
         if (field != "pattern")
             es >> v;
-        DTC_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                      "entry out of range: " << line);
+        if (es.fail() || !onlyWhitespaceLeft(es))
+            raiseMm("malformed entry: " + line, rows, cols);
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            raiseMm("entry out of range: " + line, rows, cols);
         m.add(static_cast<int32_t>(r - 1), static_cast<int32_t>(c - 1),
               static_cast<float>(v));
         if (symmetry == "symmetric" && r != c) {
             m.add(static_cast<int32_t>(c - 1),
                   static_cast<int32_t>(r - 1), static_cast<float>(v));
+        }
+    }
+    // Reject content past the declared entries (comments and blank
+    // lines excepted — common in hand-edited files).
+    while (std::getline(in, line)) {
+        const auto pos = line.find_first_not_of(" \t\r");
+        if (pos != std::string::npos && line[pos] != '%') {
+            raiseMm("trailing garbage after " +
+                        std::to_string(entries) +
+                        " declared entries: " + line,
+                    rows, cols);
         }
     }
     m.canonicalize();

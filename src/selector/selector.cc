@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "gpusim/scheduler.h"
 
 namespace dtc {
@@ -11,17 +12,38 @@ SelectorDecision
 selectKernel(const std::vector<int64_t>& blocks_per_window,
              const ArchSpec& arch, double threshold)
 {
-    DTC_CHECK(threshold > 0.0);
+    DTC_FAULT_POINT("selector.decide");
+    DTC_CHECK_CODE(threshold > 0.0, ErrorCode::InvalidInput,
+                   "selector threshold must be positive, got "
+                       << threshold);
     SelectorDecision d;
 
     std::vector<double> costs(blocks_per_window.size());
     double total = 0.0;
     for (size_t i = 0; i < blocks_per_window.size(); ++i) {
+        DTC_CHECK_CODE(blocks_per_window[i] >= 0,
+                       ErrorCode::InvalidInput,
+                       "negative TC-block count "
+                           << blocks_per_window[i] << " in window "
+                           << i);
         costs[i] = static_cast<double>(blocks_per_window[i]);
         total += costs[i];
     }
-    if (total == 0.0)
+    if (total == 0.0) {
+        // No TC blocks to balance: the base kernel trivially wins.
+        d.degenerate = true;
+        d.note = blocks_per_window.empty()
+                     ? "empty schedule (no row windows)"
+                     : "empty schedule (zero TC blocks)";
         return d;
+    }
+    if (arch.numSms <= 0 || arch.occupancy <= 0) {
+        // A schedule cannot be simulated on a degenerate arch; fall
+        // back to the base kernel rather than divide by zero.
+        d.degenerate = true;
+        d.note = "degenerate arch (numSms or occupancy not positive)";
+        return d;
+    }
 
     ScheduleResult sched =
         scheduleThreadBlocks(costs, arch.numSms, arch.occupancy);

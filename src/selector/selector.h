@@ -21,6 +21,7 @@
 #define DTC_SELECTOR_SELECTOR_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "formats/me_tcf.h"
@@ -45,6 +46,17 @@ struct SelectorDecision
 
     /** True when the balanced runtime kernel should be launched. */
     bool useBalanced = false;
+
+    /**
+     * True when the Selector could not evaluate the schedule (empty
+     * matrix, zero-SM arch, …) and fell back to the base kernel;
+     * `note` says why.  Degenerate inputs are a safe default, not an
+     * error — only *invalid* inputs (negative counts) throw.
+     */
+    bool degenerate = false;
+
+    /** Why the decision was degenerate (empty otherwise). */
+    std::string note;
 };
 
 /** Evaluates the Selector on per-window TC-block counts. */

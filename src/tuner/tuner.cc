@@ -1,8 +1,10 @@
 #include "tuner/tuner.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "formats/convert_cost.h"
 
 namespace dtc {
@@ -14,8 +16,15 @@ TuneResult::best() const
         if (e.supported)
             return e;
     }
-    DTC_CHECK_MSG(false, "no supported candidate kernel");
-    throw std::logic_error("unreachable");
+    // tuneSpmm() appends a terminal fallback, so this only triggers
+    // when even the fallback was refused.  Surface every candidate's
+    // skip reason so the caller can tell *why* nothing runs.
+    std::ostringstream os;
+    os << "no supported candidate kernel";
+    for (const TuneEntry& e : entries)
+        os << "; " << e.name << ": " << e.reason;
+    throw DtcError(ErrorCode::Unsupported, os.str(),
+                   ErrorContext{.component = "tuner"});
 }
 
 std::vector<KernelKind>
@@ -53,6 +62,47 @@ conversionCost(KernelKind kind, const CsrMatrix& m,
     }
 }
 
+/**
+ * Evaluates one candidate.  Never propagates: a refusal or a thrown
+ * error becomes an unsupported entry with the skip reason and
+ * taxonomy code recorded, so one faulty kernel cannot sink the whole
+ * tuning pass.
+ */
+TuneEntry
+evaluateCandidate(KernelKind kind, const CsrMatrix& m,
+                  const TuneRequest& request, const CostModel& cm)
+{
+    TuneEntry entry;
+    entry.kind = kind;
+    entry.name = kernelKindName(kind);
+    try {
+        DTC_FAULT_POINT("tuner.prepare");
+        auto kernel = makeKernel(kind);
+        const Refusal r = kernel->prepare(m);
+        if (!r.ok()) {
+            entry.refusal = r.code;
+            entry.reason = r.reason;
+            return entry;
+        }
+        entry.spmmMs = kernel->cost(request.denseWidth, cm).timeMs;
+        entry.conversionMs = conversionCost(kind, m, cm);
+        entry.amortizedMs =
+            entry.spmmMs +
+            entry.conversionMs /
+                static_cast<double>(request.iterations);
+        entry.supported = true;
+    } catch (const DtcError& e) {
+        entry.supported = false;
+        entry.refusal = e.code();
+        entry.reason = e.what();
+    } catch (const std::exception& e) {
+        entry.supported = false;
+        entry.refusal = ErrorCode::Internal;
+        entry.reason = e.what();
+    }
+    return entry;
+}
+
 } // namespace
 
 TuneResult
@@ -65,26 +115,26 @@ tuneSpmm(const CsrMatrix& m, const TuneRequest& request,
                                    : request.candidates;
 
     TuneResult result;
-    for (KernelKind kind : candidates) {
-        TuneEntry entry;
-        entry.kind = kind;
-        entry.name = kernelKindName(kind);
+    for (KernelKind kind : candidates)
+        result.entries.push_back(
+            evaluateCandidate(kind, m, request, cm));
 
-        auto kernel = makeKernel(kind);
-        const std::string err = kernel->prepare(m);
-        if (!err.empty()) {
-            entry.reason = err;
-            result.entries.push_back(std::move(entry));
-            continue;
+    const bool any_supported =
+        std::any_of(result.entries.begin(), result.entries.end(),
+                    [](const TuneEntry& e) { return e.supported; });
+    if (!any_supported) {
+        // Graceful degradation: every requested candidate was
+        // refused, so append the terminal fallback — the
+        // cuSPARSE-like kernel consumes CSR directly and supports
+        // any well-formed matrix.  best() then still returns a
+        // runnable kernel instead of throwing.
+        TuneEntry fb = evaluateCandidate(KernelKind::CuSparse, m,
+                                         request, cm);
+        if (fb.supported) {
+            fb.name += " (terminal fallback)";
+            result.fallbackAppended = true;
+            result.entries.push_back(std::move(fb));
         }
-        entry.supported = true;
-        entry.spmmMs = kernel->cost(request.denseWidth, cm).timeMs;
-        entry.conversionMs = conversionCost(kind, m, cm);
-        entry.amortizedMs =
-            entry.spmmMs +
-            entry.conversionMs /
-                static_cast<double>(request.iterations);
-        result.entries.push_back(std::move(entry));
     }
 
     std::stable_sort(result.entries.begin(), result.entries.end(),

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "gpusim/cost_model.h"
 #include "kernels/kernel.h"
 #include "matrix/csr.h"
@@ -47,7 +48,9 @@ struct TuneEntry
     KernelKind kind;
     std::string name;
     bool supported = false;
-    std::string reason;          ///< Refusal reason if unsupported.
+    std::string reason;          ///< Skip reason if unsupported.
+    /** Taxonomy code behind the skip (Internal if none applies). */
+    ErrorCode refusal = ErrorCode::Internal;
     double spmmMs = 0.0;         ///< Simulated per-execution time.
     double conversionMs = 0.0;   ///< Simulated one-time conversion.
     double amortizedMs = 0.0;    ///< spmm + conversion/iterations.
@@ -58,7 +61,20 @@ struct TuneResult
 {
     std::vector<TuneEntry> entries;
 
-    /** The winning entry. @pre at least one supported candidate. */
+    /**
+     * True when no requested candidate survived and the tuner
+     * appended the terminal cuSPARSE-like fallback so best() still
+     * returns a runnable kernel.
+     */
+    bool fallbackAppended = false;
+
+    /**
+     * The winning entry.  Guaranteed to exist for any tuneSpmm()
+     * result (the tuner appends a terminal fallback when every
+     * requested candidate is refused); throws a typed
+     * DtcError(Unsupported) listing per-candidate reasons only if
+     * even the fallback was refused.
+     */
     const TuneEntry& best() const;
 };
 

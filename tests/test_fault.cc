@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Tests for the hardened pipeline: the error taxonomy, resource
+ * budgets, deterministic fault injection, and the graceful-degradation
+ * paths they enable (tuner terminal fallback, trainer mid-training
+ * kernel replacement, selector degenerate-input handling).
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/budget.h"
+#include "common/check.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "formats/me_tcf.h"
+#include "formats/sgt.h"
+#include "gnn/trainer.h"
+#include "kernels/kernel.h"
+#include "selector/selector.h"
+#include "tuner/tuner.h"
+
+namespace dtc {
+namespace {
+
+/** Disarms every fault on entry and exit so tests stay independent. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::disarmAll(); }
+    void TearDown() override { fault::disarmAll(); }
+
+    CostModel cm{ArchSpec::rtx4090()};
+    Rng rng{77};
+};
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------
+
+TEST(ErrorTaxonomy, CodeNamesRoundTrip)
+{
+    for (ErrorCode c :
+         {ErrorCode::InvalidInput, ErrorCode::CorruptData,
+          ErrorCode::ResourceExhausted, ErrorCode::Unsupported,
+          ErrorCode::Internal}) {
+        EXPECT_EQ(parseErrorCode(errorCodeName(c)), c);
+    }
+    // Case-insensitive.
+    EXPECT_EQ(parseErrorCode("resourceexhausted"),
+              ErrorCode::ResourceExhausted);
+    EXPECT_THROW(parseErrorCode("NotACode"), DtcError);
+}
+
+TEST(ErrorTaxonomy, DtcErrorIsInvalidArgument)
+{
+    // Legacy catch sites use std::invalid_argument; the taxonomy must
+    // stay visible through them.
+    try {
+        throw DtcError(ErrorCode::CorruptData, "boom",
+                       ErrorContext{.component = "serialize",
+                                    .byteOffset = 42});
+    } catch (const std::invalid_argument& e) {
+        const auto* d = dynamic_cast<const DtcError*>(&e);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->code(), ErrorCode::CorruptData);
+        EXPECT_EQ(d->context().component, "serialize");
+        EXPECT_EQ(d->context().byteOffset, 42);
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("CorruptData"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorTaxonomy, InternalErrorIsLogicError)
+{
+    try {
+        throw DtcInternalError("invariant");
+    } catch (const std::logic_error& e) {
+        const auto* d = dynamic_cast<const DtcInternalError*>(&e);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->code(), ErrorCode::Internal);
+    }
+}
+
+TEST(ErrorTaxonomy, ChecksThrowTypedErrors)
+{
+    EXPECT_THROW(DTC_CHECK(false), DtcError);
+    EXPECT_THROW(DTC_ASSERT(false), DtcInternalError);
+    try {
+        DTC_CHECK_CODE(false, ErrorCode::Unsupported, "nope " << 7);
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Unsupported);
+        EXPECT_NE(std::string(e.what()).find("nope 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorTaxonomy, RefusalShimsMatchStringCallSites)
+{
+    Refusal ok = Refusal::accept();
+    EXPECT_TRUE(ok.ok());
+    EXPECT_TRUE(ok.empty());
+    EXPECT_EQ(ok, "");
+
+    Refusal r = Refusal::refuse(ErrorCode::ResourceExhausted, "OOM");
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.empty());
+    EXPECT_NE(r, "");
+    EXPECT_EQ(r, "OOM");
+    const std::string as_string = r;
+    EXPECT_EQ(as_string, "OOM");
+    EXPECT_EQ(r.code, ErrorCode::ResourceExhausted);
+}
+
+// ---------------------------------------------------------------------
+// Resource budgets
+// ---------------------------------------------------------------------
+
+TEST(ResourceBudget, DefaultsComeFromArch)
+{
+    const ResourceBudget& b = ResourceBudget::defaults();
+    EXPECT_EQ(b.conversionBytes, ArchSpec::rtx4090().deviceMemBytes);
+    EXPECT_EQ(b.stagingBytes, ArchSpec::rtx4090().hostMemBytes);
+    EXPECT_EQ(b.maxStructuredDim, 5000);
+}
+
+TEST(ResourceBudget, ScopedOverrideAppliesAndRestores)
+{
+    const int64_t before = ResourceBudget::current().conversionBytes;
+    {
+        ResourceBudget tight = ResourceBudget::defaults();
+        tight.conversionBytes = 1024;
+        ScopedResourceBudget scope(tight);
+        EXPECT_EQ(ResourceBudget::current().conversionBytes, 1024);
+        EXPECT_THROW(ResourceBudget::current().checkConversion(
+                         2048, "test"),
+                     DtcError);
+    }
+    EXPECT_EQ(ResourceBudget::current().conversionBytes, before);
+}
+
+TEST(ResourceBudget, CheckThrowsResourceExhausted)
+{
+    ResourceBudget tiny = ResourceBudget::defaults();
+    tiny.stagingBytes = 10;
+    ScopedResourceBudget scope(tiny);
+    try {
+        ResourceBudget::current().checkStaging(100, "test");
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+    }
+}
+
+TEST_F(FaultTest, TightConversionBudgetRefusesEveryFormatKernel)
+{
+    CsrMatrix a = genUniform(256, 8.0, rng);
+    ResourceBudget tight = ResourceBudget::defaults();
+    tight.conversionBytes = 64; // smaller than any format
+    ScopedResourceBudget scope(tight);
+    for (KernelKind kind :
+         {KernelKind::Dtc, KernelKind::Tcgnn, KernelKind::Sputnik,
+          KernelKind::SparseTir, KernelKind::BlockSpmm32,
+          KernelKind::VectorSparse4, KernelKind::FlashLlmV1}) {
+        auto kernel = makeKernel(kind);
+        Refusal r = kernel->prepare(a);
+        ASSERT_FALSE(r.ok()) << kernel->name();
+        EXPECT_EQ(r.code, ErrorCode::ResourceExhausted)
+            << kernel->name();
+    }
+}
+
+TEST_F(FaultTest, StructuredDimBudgetDrivesSpartaRefusal)
+{
+    // SparTA's 5,000-dim cuSPARSELt limit now lives in the budget:
+    // shrinking it makes a small matrix refuse, raising it un-refuses
+    // the paper's 6,000-dim case.
+    CsrMatrix small = genUniform(300, 4.0, rng);
+    auto kernel = makeKernel(KernelKind::SparTA);
+    EXPECT_TRUE(kernel->prepare(small).ok());
+
+    ResourceBudget b = ResourceBudget::defaults();
+    b.maxStructuredDim = 200;
+    {
+        ScopedResourceBudget scope(b);
+        auto k2 = makeKernel(KernelKind::SparTA);
+        Refusal r = k2->prepare(small);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.code, ErrorCode::Unsupported);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection mechanics
+// ---------------------------------------------------------------------
+
+TEST_F(FaultTest, FiresOnNthSerialHitExactlyOnce)
+{
+    fault::arm("test.site", 3, ErrorCode::CorruptData);
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.site")); // hit 1
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.site")); // hit 2
+    try {
+        DTC_FAULT_POINT("test.site"); // hit 3: fires
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+        EXPECT_EQ(e.context().component, "test.site");
+    }
+    // Each arming fires at most once.
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.site"));
+    EXPECT_EQ(fault::hitCount("test.site"), 4);
+}
+
+TEST_F(FaultTest, DisarmedSiteNeverFires)
+{
+    fault::arm("test.other", 1, ErrorCode::Internal);
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.site"));
+    fault::disarm("test.other");
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.other"));
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit)
+{
+    {
+        fault::ScopedFault f("test.scoped", 1,
+                             ErrorCode::ResourceExhausted);
+        EXPECT_THROW(DTC_FAULT_POINT("test.scoped"), DtcError);
+    }
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.scoped"));
+}
+
+TEST_F(FaultTest, ArmFromSpecParsesMultipleEntries)
+{
+    fault::armFromSpec(
+        "a.one:2:CorruptData,b.two:1:ResourceExhausted");
+    auto armed = fault::armedFaults();
+    ASSERT_EQ(armed.size(), 2u);
+    EXPECT_NO_THROW(DTC_FAULT_POINT("a.one"));
+    EXPECT_THROW(DTC_FAULT_POINT("a.one"), DtcError);
+    EXPECT_THROW(DTC_FAULT_POINT("b.two"), DtcError);
+}
+
+TEST_F(FaultTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(fault::armFromSpec("missing-colons"), DtcError);
+    EXPECT_THROW(fault::armFromSpec("site:0:Internal"), DtcError);
+    EXPECT_THROW(fault::armFromSpec("site:1:Bogus"), DtcError);
+}
+
+TEST_F(FaultTest, EnvReloadArmsFaults)
+{
+    ASSERT_EQ(setenv("DTC_FAULT", "test.env:1:Unsupported", 1), 0);
+    fault::reloadFromEnv();
+    try {
+        DTC_FAULT_POINT("test.env");
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Unsupported);
+    }
+    ASSERT_EQ(unsetenv("DTC_FAULT"), 0);
+    fault::reloadFromEnv();
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.env"));
+}
+
+TEST_F(FaultTest, ParallelChunkOrdinalIsDeterministic)
+{
+    // Arm the sgt condensation chunk fault at ordinal 2 (2048 rows /
+    // windowHeight 16 / grain 64 = 2 chunks) and run the conversion
+    // at 1 and 8 threads: the surfaced error must be bitwise
+    // identical (same code, same message).
+    CsrMatrix m = genUniform(2048, 8.0, rng);
+    std::string what1, what8;
+    for (int threads : {1, 8}) {
+        ScopedNumThreads scope(threads);
+        fault::arm("sgt.condense.chunk", 2, ErrorCode::CorruptData);
+        try {
+            sgtCondense(m, TcBlockShape{});
+            FAIL() << "should have thrown at threads=" << threads;
+        } catch (const DtcError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+            (threads == 1 ? what1 : what8) = e.what();
+        }
+        fault::disarmAll();
+    }
+    EXPECT_EQ(what1, what8);
+}
+
+TEST_F(FaultTest, ConversionFaultSurfacesThroughPrepare)
+{
+    // me_tcf.convert throws inside DtcKernel::prepare; the tuner path
+    // below turns it into a skip, but a direct prepare propagates.
+    CsrMatrix a = genUniform(128, 4.0, rng);
+    fault::ScopedFault f("me_tcf.convert", 1,
+                         ErrorCode::ResourceExhausted);
+    auto kernel = makeKernel(KernelKind::Dtc);
+    EXPECT_THROW(kernel->prepare(a), DtcError);
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: tuner
+// ---------------------------------------------------------------------
+
+TEST_F(FaultTest, TunerSkipsFaultedCandidateAndRecordsCode)
+{
+    // The acceptance drill: DTC_FAULT=tuner.prepare:1:ResourceExhausted
+    // hits the first candidate (DTC); tuning must complete with DTC
+    // skipped and the skip reason carrying the taxonomy code.
+    CsrMatrix m = genUniform(1024, 8.0, rng);
+    fault::ScopedFault f("tuner.prepare", 1,
+                         ErrorCode::ResourceExhausted);
+    TuneRequest req;
+    TuneResult res = tuneSpmm(m, req, cm);
+
+    const TuneEntry* dtc_entry = nullptr;
+    for (const TuneEntry& e : res.entries) {
+        if (e.kind == KernelKind::Dtc)
+            dtc_entry = &e;
+    }
+    ASSERT_NE(dtc_entry, nullptr);
+    EXPECT_FALSE(dtc_entry->supported);
+    EXPECT_EQ(dtc_entry->refusal, ErrorCode::ResourceExhausted);
+    EXPECT_NE(dtc_entry->reason.find("fault injected"),
+              std::string::npos);
+    // A guaranteed-supported kernel still wins.
+    EXPECT_TRUE(res.best().supported);
+    EXPECT_NE(res.best().kind, KernelKind::Dtc);
+}
+
+TEST_F(FaultTest, TunerAppendsTerminalFallbackWhenAllRefused)
+{
+    // Every requested candidate refuses (tight conversion budget and
+    // no cuSPARSE in the list): the tuner appends the cuSPARSE-like
+    // terminal fallback so best() still returns a runnable kernel.
+    CsrMatrix m = genUniform(512, 6.0, rng);
+    ResourceBudget tight = ResourceBudget::defaults();
+    tight.conversionBytes = 64;
+    ScopedResourceBudget scope(tight);
+
+    TuneRequest req;
+    req.candidates = {KernelKind::Dtc, KernelKind::Sputnik};
+    TuneResult res = tuneSpmm(m, req, cm);
+    EXPECT_TRUE(res.fallbackAppended);
+    EXPECT_EQ(res.entries.size(), 3u);
+    const TuneEntry& best = res.best();
+    EXPECT_TRUE(best.supported);
+    EXPECT_EQ(best.kind, KernelKind::CuSparse);
+    EXPECT_NE(best.name.find("terminal fallback"), std::string::npos);
+}
+
+TEST_F(FaultTest, BestThrowsTypedErrorOnlyWhenNothingWorks)
+{
+    // Refuse the candidates *and* sabotage the fallback: best() must
+    // throw a typed Unsupported error listing per-candidate reasons.
+    CsrMatrix m = genUniform(256, 4.0, rng);
+    ResourceBudget tight = ResourceBudget::defaults();
+    tight.conversionBytes = 64;
+    ScopedResourceBudget scope(tight);
+    // nth=2: first hit is the Dtc candidate... no — hit 1 = Dtc,
+    // hit 2 = the terminal-fallback evaluation of CuSparse.
+    fault::ScopedFault f("tuner.prepare", 2, ErrorCode::Internal);
+
+    TuneRequest req;
+    req.candidates = {KernelKind::Dtc};
+    TuneResult res = tuneSpmm(m, req, cm);
+    EXPECT_FALSE(res.fallbackAppended);
+    try {
+        res.best();
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Unsupported);
+        EXPECT_NE(std::string(e.what()).find("DTC-SpMM"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: selector
+// ---------------------------------------------------------------------
+
+TEST(SelectorRobustness, EmptyScheduleFallsBackToBase)
+{
+    SelectorDecision d =
+        selectKernel(std::vector<int64_t>{}, ArchSpec::rtx4090());
+    EXPECT_FALSE(d.useBalanced);
+    EXPECT_TRUE(d.degenerate);
+    EXPECT_FALSE(d.note.empty());
+
+    d = selectKernel(std::vector<int64_t>{0, 0, 0},
+                     ArchSpec::rtx4090());
+    EXPECT_FALSE(d.useBalanced);
+    EXPECT_TRUE(d.degenerate);
+}
+
+TEST(SelectorRobustness, DegenerateArchFallsBackToBase)
+{
+    ArchSpec arch = ArchSpec::rtx4090();
+    arch.numSms = 0;
+    SelectorDecision d = selectKernel({4, 5, 6}, arch);
+    EXPECT_FALSE(d.useBalanced);
+    EXPECT_TRUE(d.degenerate);
+    EXPECT_NE(d.note.find("arch"), std::string::npos);
+}
+
+TEST(SelectorRobustness, InvalidInputsThrowTyped)
+{
+    try {
+        selectKernel({3, -1, 2}, ArchSpec::rtx4090());
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+    }
+    EXPECT_THROW(
+        selectKernel({1, 2}, ArchSpec::rtx4090(), /*threshold=*/0.0),
+        DtcError);
+}
+
+TEST(SelectorRobustness, NormalDecisionIsNotDegenerate)
+{
+    SelectorDecision d = selectKernel(std::vector<int64_t>(512, 4),
+                                      ArchSpec::rtx4090());
+    EXPECT_FALSE(d.degenerate);
+    EXPECT_TRUE(d.note.empty());
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: trainer
+// ---------------------------------------------------------------------
+
+TEST_F(FaultTest, TrainerSurvivesMidTrainingKernelFault)
+{
+    // The acceptance drill's second half: a kernel failure mid-epoch
+    // must not kill training — the model re-tunes minus the failed
+    // kernel, re-prepares, retries the epoch, and still converges.
+    CsrMatrix a = genCommunity(256, 4, 8.0, 0.85, rng);
+    const int64_t features = 16;
+    DenseMatrix x;
+    std::vector<int32_t> labels;
+    makeClassificationTask(a, features, 4, 123, &x, &labels);
+
+    TrainerConfig cfg;
+    cfg.epochs = 12;
+    TuneRequest req;
+    req.denseWidth = features;
+    GcnModel model(a, req, cm, features, cfg);
+    const std::string initial = model.kernel().name();
+
+    // Fire inside epoch 3's step (serial hits count one per epoch;
+    // the constructor's tuning already consumed none of them).
+    fault::arm("trainer.step", 4, ErrorCode::ResourceExhausted);
+    TrainStats stats = model.train(x, labels);
+
+    ASSERT_EQ(stats.loss.size(), static_cast<size_t>(cfg.epochs));
+    ASSERT_EQ(stats.fallbacks.size(), 1u);
+    const FallbackEvent& ev = stats.fallbacks[0];
+    EXPECT_EQ(ev.epoch, 3);
+    EXPECT_EQ(ev.fromKernel, initial);
+    EXPECT_EQ(ev.code, ErrorCode::ResourceExhausted);
+    EXPECT_FALSE(ev.toKernel.empty());
+    EXPECT_NE(model.kernel().name(), initial);
+    // Training still works after the swap: loss decreased overall.
+    EXPECT_LT(stats.loss.back(), stats.loss.front());
+}
+
+TEST_F(FaultTest, FullTrainingRunWithDtcFaultedOut)
+{
+    // ISSUE acceptance: with DTC_FAULT arming tuner.prepare against
+    // the DTC kernel, a full GCN training run completes via fallback.
+    ASSERT_EQ(
+        setenv("DTC_FAULT", "tuner.prepare:1:ResourceExhausted", 1),
+        0);
+    fault::reloadFromEnv();
+
+    CsrMatrix a = genCommunity(256, 4, 8.0, 0.85, rng);
+    const int64_t features = 16;
+    DenseMatrix x;
+    std::vector<int32_t> labels;
+    makeClassificationTask(a, features, 4, 321, &x, &labels);
+
+    TrainerConfig cfg;
+    cfg.epochs = 15;
+    TuneRequest req;
+    req.denseWidth = features;
+    GcnModel model(a, req, cm, features, cfg);
+    // DTC was the first tuner.prepare hit, so the bound kernel is a
+    // fallback, not DTC-SpMM.
+    EXPECT_EQ(model.kernel().name().find("DTC-SpMM"),
+              std::string::npos);
+
+    TrainStats stats = model.train(x, labels);
+    ASSERT_EQ(stats.loss.size(), static_cast<size_t>(cfg.epochs));
+    EXPECT_LT(stats.loss.back(), stats.loss.front());
+    EXPECT_GT(stats.accuracy.back(), 0.5);
+
+    ASSERT_EQ(unsetenv("DTC_FAULT"), 0);
+    fault::reloadFromEnv();
+}
+
+TEST_F(FaultTest, FixedKernelCtorThrowsTypedOnRefusal)
+{
+    CsrMatrix a = genUniform(128, 4.0, rng);
+    ResourceBudget tight = ResourceBudget::defaults();
+    tight.conversionBytes = 64;
+    ScopedResourceBudget scope(tight);
+    TrainerConfig cfg;
+    try {
+        GcnModel model(a, makeKernel(KernelKind::Dtc), 16, cfg);
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+    }
+}
+
+} // namespace
+} // namespace dtc

@@ -7,6 +7,8 @@
 
 #include <sstream>
 
+#include "common/budget.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "datasets/generators.h"
 #include "matrix/csr.h"
@@ -14,6 +16,25 @@
 
 namespace dtc {
 namespace {
+
+/**
+ * Parses @p text and requires a typed outcome: success or DtcError
+ * with a non-Internal code.  The corruption sweep feeds this hostile
+ * bytes; an untyped exception or crash is a failure.
+ */
+void
+expectTypedParse(const std::string& text, const std::string& label)
+{
+    std::istringstream in(text);
+    try {
+        CooMatrix m = readMatrixMarket(in);
+        (void)m;
+    } catch (const DtcError& e) {
+        EXPECT_NE(e.code(), ErrorCode::Internal) << label;
+    } catch (const std::exception& e) {
+        FAIL() << label << ": untyped exception: " << e.what();
+    }
+}
 
 TEST(MmIo, ParsesGeneralReal)
 {
@@ -134,6 +155,138 @@ TEST(MmIo, MissingFileThrows)
 {
     EXPECT_THROW(readMatrixMarketFile("/nonexistent/nope.mtx"),
                  std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Hardened parsing: malformed tokens, trailing garbage, dimension
+// overflow, budget enforcement, and a seeded mutation sweep.
+// ---------------------------------------------------------------------
+
+TEST(MmIoRobustness, RejectsNonNumericTokens)
+{
+    const char* cases[] = {
+        // Bad size line.
+        "%%MatrixMarket matrix coordinate real general\nx 3 1\n1 1 1\n",
+        "%%MatrixMarket matrix coordinate real general\n3 y 1\n1 1 1\n",
+        "%%MatrixMarket matrix coordinate real general\n3 3 z\n1 1 1\n",
+        "%%MatrixMarket matrix coordinate real general\n3 3 1 9\n1 1 1\n",
+        // Bad entry tokens.
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\na 1 1\n",
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 b 1\n",
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 c\n",
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1\n",
+        "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 1 extra\n",
+        // Pattern entry with a stray value.
+        "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 5\n",
+    };
+    for (const char* text : cases) {
+        std::istringstream in(text);
+        try {
+            readMatrixMarket(in);
+            FAIL() << "accepted: " << text;
+        } catch (const DtcError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::InvalidInput) << text;
+        }
+    }
+}
+
+TEST(MmIoRobustness, RejectsTrailingGarbage)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "2 2 9.0\n"); // one more entry than declared
+    try {
+        readMatrixMarket(in);
+        FAIL() << "trailing entry accepted";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+        EXPECT_EQ(e.context().component, "mm_io");
+    }
+}
+
+TEST(MmIoRobustness, AllowsTrailingCommentsAndBlanks)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "\n"
+        "% trailing comment is fine\n");
+    CooMatrix m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(MmIoRobustness, RejectsDimensionsBeyondInt32)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4294967296 10 0\n");
+    try {
+        readMatrixMarket(in);
+        FAIL() << "oversized dims accepted";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+        EXPECT_EQ(e.context().rows, 4294967296ll);
+    }
+}
+
+TEST(MmIoRobustness, StagingBudgetBoundsEntryCount)
+{
+    // A header declaring a billion entries must be refused before the
+    // reserve, not after the machine pages itself to death.
+    ResourceBudget tiny = ResourceBudget::defaults();
+    tiny.stagingBytes = 1024;
+    ScopedResourceBudget scope(tiny);
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "1000 1000 1000000000\n");
+    try {
+        readMatrixMarket(in);
+        FAIL() << "over-budget entry count accepted";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+    }
+}
+
+TEST(MmIoRobustness, SeededCharacterMutationSweep)
+{
+    // Corrupt single characters of a valid file at seeded positions.
+    // Some mutations stay parseable (digit swaps); every other
+    // outcome must be a typed InvalidInput — never a crash or an
+    // Internal error.
+    Rng rng(0x3a7);
+    CsrMatrix m = genUniform(48, 4.0, rng);
+    std::ostringstream out;
+    writeMatrixMarket(out, m.toCoo());
+    const std::string good = out.str();
+
+    const char replacements[] = {'x', '-', '%', ' ', '\t', '.', '9',
+                                 '\0', '?', ':'};
+    for (int i = 0; i < 80; ++i) {
+        std::string bad = good;
+        const size_t pos = static_cast<size_t>(rng.nextInt(
+            0, static_cast<int64_t>(bad.size()) - 1));
+        bad[pos] = replacements[rng.nextInt(
+            0, static_cast<int64_t>(sizeof(replacements)) - 1)];
+        expectTypedParse(bad, "mutation at " + std::to_string(pos));
+    }
+}
+
+TEST(MmIoRobustness, SeededTruncationSweep)
+{
+    Rng rng(0x3a8);
+    CsrMatrix m = genBanded(40, 4, 3.0, rng);
+    std::ostringstream out;
+    writeMatrixMarket(out, m.toCoo());
+    const std::string good = out.str();
+    for (int i = 0; i < 30; ++i) {
+        const size_t keep = static_cast<size_t>(rng.nextInt(
+            0, static_cast<int64_t>(good.size()) - 1));
+        expectTypedParse(good.substr(0, keep),
+                         "truncate to " + std::to_string(keep));
+    }
 }
 
 } // namespace

@@ -6,14 +6,71 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
+#include "common/budget.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "datasets/generators.h"
 #include "formats/serialize.h"
 
 namespace dtc {
 namespace {
+
+/** FNV-1a over bytes, matching the serializer's checksum. */
+uint64_t
+fnv1a(const char* data, size_t bytes)
+{
+    uint64_t state = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < bytes; ++i) {
+        state ^= static_cast<unsigned char>(data[i]);
+        state *= 0x100000001b3ull;
+    }
+    return state;
+}
+
+/** Rewrites the trailing checksum so only the *semantic* check trips. */
+void
+fixupChecksum(std::string& data)
+{
+    ASSERT_GE(data.size(), 16u);
+    const uint64_t sum = fnv1a(data.data() + 8, data.size() - 16);
+    std::memcpy(data.data() + data.size() - 8, &sum, sizeof(sum));
+}
+
+/**
+ * Feeds @p data to the CSR loader and requires a typed, recoverable
+ * outcome: success or DtcError with a non-Internal code.  Anything
+ * else (crash, UB, untyped exception) fails the sweep.
+ */
+void
+expectTypedCsrLoad(const std::string& data, const std::string& label)
+{
+    std::stringstream in(data);
+    try {
+        CsrMatrix m = loadCsr(in);
+        (void)m;
+    } catch (const DtcError& e) {
+        EXPECT_NE(e.code(), ErrorCode::Internal) << label;
+    } catch (const std::exception& e) {
+        FAIL() << label << ": untyped exception: " << e.what();
+    }
+}
+
+void
+expectTypedMeTcfLoad(const std::string& data, const std::string& label)
+{
+    std::stringstream in(data);
+    try {
+        MeTcfMatrix m = loadMeTcf(in);
+        (void)m;
+    } catch (const DtcError& e) {
+        EXPECT_NE(e.code(), ErrorCode::Internal) << label;
+    } catch (const std::exception& e) {
+        FAIL() << label << ": untyped exception: " << e.what();
+    }
+}
 
 TEST(Serialize, CsrRoundTrip)
 {
@@ -114,6 +171,173 @@ TEST(Serialize, MissingFileThrows)
                  std::invalid_argument);
     EXPECT_THROW(loadMeTcfFile("/nonexistent/x.metcf"),
                  std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Seeded corruption sweep: every mutation of a valid stream must load
+// clean or throw a typed, recoverable DtcError — never crash, never
+// surface an Internal error, never allocate from a hostile length.
+// ---------------------------------------------------------------------
+
+TEST(SerializeCorruption, CsrBitFlipSweep)
+{
+    Rng rng(0xc0de);
+    CsrMatrix m = genUniform(96, 5.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    const std::string good = buf.str();
+    for (int i = 0; i < 60; ++i) {
+        std::string bad = good;
+        const size_t byte = static_cast<size_t>(
+            rng.nextInt(0, static_cast<int64_t>(bad.size()) - 1));
+        bad[byte] ^= static_cast<char>(
+            1u << rng.nextInt(0, 7));
+        std::stringstream in(bad);
+        // A flip anywhere is covered by magic or checksum, so it must
+        // throw — and the error must be typed.
+        try {
+            loadCsr(in);
+            FAIL() << "flip at byte " << byte << " not detected";
+        } catch (const DtcError& e) {
+            EXPECT_NE(e.code(), ErrorCode::Internal) << byte;
+        }
+    }
+}
+
+TEST(SerializeCorruption, CsrTruncationSweep)
+{
+    Rng rng(0xc0df);
+    CsrMatrix m = genPowerLaw(80, 4.0, 1.4, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    const std::string good = buf.str();
+    for (int i = 0; i < 30; ++i) {
+        const size_t keep = static_cast<size_t>(rng.nextInt(
+            0, static_cast<int64_t>(good.size()) - 1));
+        expectTypedCsrLoad(good.substr(0, keep),
+                           "truncate to " + std::to_string(keep));
+    }
+}
+
+TEST(SerializeCorruption, MeTcfBitFlipSweep)
+{
+    Rng rng(0xd0de);
+    CsrMatrix m = genCommunity(128, 4, 8.0, 0.85, rng);
+    MeTcfMatrix t = MeTcfMatrix::build(m);
+    std::stringstream buf;
+    saveMeTcf(buf, t);
+    const std::string good = buf.str();
+    for (int i = 0; i < 60; ++i) {
+        std::string bad = good;
+        const size_t byte = static_cast<size_t>(
+            rng.nextInt(0, static_cast<int64_t>(bad.size()) - 1));
+        bad[byte] ^= static_cast<char>(1u << rng.nextInt(0, 7));
+        std::stringstream in(bad);
+        try {
+            loadMeTcf(in);
+            FAIL() << "flip at byte " << byte << " not detected";
+        } catch (const DtcError& e) {
+            EXPECT_NE(e.code(), ErrorCode::Internal) << byte;
+        }
+    }
+}
+
+TEST(SerializeCorruption, MeTcfTruncationSweep)
+{
+    Rng rng(0xd0df);
+    CsrMatrix m = genBanded(96, 6, 4.0, rng);
+    std::stringstream buf;
+    saveMeTcf(buf, MeTcfMatrix::build(m));
+    const std::string good = buf.str();
+    for (int i = 0; i < 30; ++i) {
+        const size_t keep = static_cast<size_t>(rng.nextInt(
+            0, static_cast<int64_t>(good.size()) - 1));
+        expectTypedMeTcfLoad(good.substr(0, keep),
+                             "truncate to " + std::to_string(keep));
+    }
+}
+
+TEST(SerializeCorruption, HugeLengthPrefixRejectedBeforeAllocation)
+{
+    // Patch the rowPtr length prefix to 2^56 and fix the checksum so
+    // only the remaining-bytes bound can catch it.  The loader must
+    // reject *without* attempting the allocation.
+    Rng rng(0xeade);
+    CsrMatrix m = genUniform(64, 4.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    std::string data = buf.str();
+    // Layout after magic(8): version u32, rows i64, cols i64, then
+    // the u64 rowPtr length prefix.
+    const size_t len_off = 8 + 4 + 8 + 8;
+    const uint64_t huge = 1ull << 56;
+    std::memcpy(data.data() + len_off, &huge, sizeof(huge));
+    fixupChecksum(data);
+    std::stringstream in(data);
+    try {
+        loadCsr(in);
+        FAIL() << "huge length prefix accepted";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+        EXPECT_NE(std::string(e.what()).find("length"),
+                  std::string::npos);
+    }
+}
+
+TEST(SerializeCorruption, ChecksumVerifiedBeforeInterpreting)
+{
+    // Corrupt an array length *without* fixing the checksum: the
+    // error must be the checksum mismatch, proving validation order.
+    Rng rng(0xeadf);
+    CsrMatrix m = genUniform(64, 4.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    std::string data = buf.str();
+    const size_t len_off = 8 + 4 + 8 + 8;
+    const uint64_t huge = 1ull << 56;
+    std::memcpy(data.data() + len_off, &huge, sizeof(huge));
+    std::stringstream in(data);
+    try {
+        loadCsr(in);
+        FAIL() << "corruption accepted";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos);
+    }
+}
+
+TEST(SerializeCorruption, StagingBudgetBoundsLoad)
+{
+    Rng rng(0xfade);
+    CsrMatrix m = genUniform(512, 8.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+
+    ResourceBudget tiny = ResourceBudget::defaults();
+    tiny.stagingBytes = 128; // smaller than the stream
+    ScopedResourceBudget scope(tiny);
+    try {
+        loadCsr(buf);
+        FAIL() << "over-budget stream accepted";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+    }
+}
+
+TEST(SerializeCorruption, TrailingBytesRejected)
+{
+    Rng rng(0xfadf);
+    CsrMatrix m = genUniform(48, 4.0, rng);
+    std::stringstream buf;
+    saveCsr(buf, m);
+    std::string data = buf.str();
+    data += "extra";
+    expectTypedCsrLoad(data, "trailing bytes");
+    // Specifically: appending bytes shifts the checksum window, so
+    // this must throw, not load.
+    std::stringstream in(data);
+    EXPECT_THROW(loadCsr(in), DtcError);
 }
 
 TEST(Serialize, ConvertOnceReuseAcrossRuns)

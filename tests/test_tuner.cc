@@ -130,11 +130,14 @@ TEST_F(TunerTest, UnsupportedCandidatesCarryReason)
         if (e.kind == KernelKind::SparTA) {
             EXPECT_FALSE(e.supported);
             EXPECT_FALSE(e.reason.empty());
+            // The skip carries the taxonomy code, not just a string.
+            EXPECT_EQ(e.refusal, ErrorCode::Unsupported);
             found = true;
         }
     }
     EXPECT_TRUE(found);
     EXPECT_EQ(res.best().kind, KernelKind::CuSparse);
+    EXPECT_FALSE(res.fallbackAppended);
 }
 
 TEST_F(TunerTest, RejectsBadRequest)
