@@ -8,9 +8,21 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/prepared_dense.h"
+#include "kernels/kernel.h"
 #include "kernels/reference.h"
 #include "matrix/dense.h"
 #include "datasets/generators.h"
@@ -208,6 +220,67 @@ BM_FaultPointDisarmed(benchmark::State& state)
 }
 BENCHMARK(BM_FaultPointDisarmed);
 
+// ---- engine-off vs engine-on sweeps of the host execution engine
+// (src/engine/): pre-rounded B panels, column-panel tiling, and flat
+// index lanes vs the legacy scalar loops.  Outputs are bitwise
+// identical (tests/test_engine_equivalence.cc), so these rows isolate
+// the wall-clock effect.  Args: {dense width N, engine on}.
+
+void
+BM_DtcComputeEngine(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    static std::unique_ptr<SpmmKernel> kernel = [&] {
+        auto k = makeKernel(KernelKind::Dtc);
+        k->prepare(m);
+        return k;
+    }();
+    const int64_t n = state.range(0);
+    engine::ScopedEngineMode mode(state.range(1) != 0);
+    Rng rng(3);
+    DenseMatrix b(m.cols(), n);
+    b.fillRandom(rng);
+    DenseMatrix c(m.rows(), n);
+    engine::clearPreparedDenseCache();
+    for (auto _ : state) {
+        kernel->compute(b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * n);
+}
+BENCHMARK(BM_DtcComputeEngine)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+void
+BM_ReferenceTf32Engine(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    const int64_t n = state.range(0);
+    engine::ScopedEngineMode mode(state.range(1) != 0);
+    Rng rng(3);
+    DenseMatrix b(m.cols(), n);
+    b.fillRandom(rng);
+    DenseMatrix c(m.rows(), n);
+    engine::clearPreparedDenseCache();
+    for (auto _ : state) {
+        referenceSpmmTf32(m, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * n);
+}
+BENCHMARK(BM_ReferenceTf32Engine)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
 void
 BM_SelectorDecision(benchmark::State& state)
 {
@@ -221,6 +294,208 @@ BM_SelectorDecision(benchmark::State& state)
 BENCHMARK(BM_SelectorDecision);
 
 } // namespace
+
+// ---- `--smoke` mode: a fast, self-validating engine-vs-scalar
+// comparison that writes machine-readable BENCH_engine.json.  Run by
+// the `bench_smoke` ctest so the schema and the engine's win on
+// rounding work stay checked on every build.
+
+namespace {
+
+struct SmokeRow
+{
+    const char* kernel;
+    int64_t n;
+    double offMs;
+    double onMs;
+    uint64_t legacyBRoundOps; ///< reps * nnz * N (per-use rounding).
+    uint64_t engineBRoundOps; ///< measured: K * N once per cache fill.
+};
+
+template <typename F>
+double
+timedMs(int reps, F&& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/**
+ * Times @p fn engine-off (after one warm-up call) and engine-on (from
+ * a cold PreparedDense cache, so the one-time panel rounding is billed
+ * to the engine).
+ */
+template <typename F>
+SmokeRow
+smokeCompare(const char* kernel_name, const CsrMatrix& m, int64_t n,
+             int reps, F&& fn)
+{
+    SmokeRow row;
+    row.kernel = kernel_name;
+    row.n = n;
+    {
+        engine::ScopedEngineMode mode(false);
+        fn(); // warm-up: touch B/C pages once
+        row.offMs = timedMs(reps, fn);
+    }
+    {
+        engine::ScopedEngineMode mode(true);
+        engine::clearPreparedDenseCache();
+        engine::resetStats();
+        row.onMs = timedMs(reps, fn);
+        row.engineBRoundOps = engine::stats().roundingOps.load();
+    }
+    row.legacyBRoundOps = static_cast<uint64_t>(reps) *
+                          static_cast<uint64_t>(m.nnz()) *
+                          static_cast<uint64_t>(n);
+    return row;
+}
+
+/** Minimal structural check of the file runEngineSmoke just wrote. */
+bool
+validateBenchJson(const std::string& path, size_t expect_rows)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    if (text.find("\"schema\": \"dtc-bench-engine-v1\"") ==
+        std::string::npos)
+        return false;
+    size_t rows = 0;
+    for (size_t pos = text.find("\"kernel\":");
+         pos != std::string::npos;
+         pos = text.find("\"kernel\":", pos + 1))
+        rows++;
+    if (rows != expect_rows)
+        return false;
+    for (const char* key : {"\"engine_off_ms\":", "\"engine_on_ms\":",
+                            "\"legacy_b_round_ops\":",
+                            "\"engine_b_round_ops\":"}) {
+        size_t found = 0;
+        for (size_t pos = text.find(key); pos != std::string::npos;
+             pos = text.find(key, pos + 1)) {
+            const double v =
+                std::strtod(text.c_str() + pos + std::strlen(key),
+                            nullptr);
+            if (!(v >= 0.0))
+                return false;
+            found++;
+        }
+        if (found != expect_rows)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+runEngineSmoke(const std::string& out_path)
+{
+    Rng rng(1);
+    const CsrMatrix m = genCommunity(4096, 16, 16.0, 0.85, rng);
+    auto dtc_kernel = makeKernel(KernelKind::Dtc);
+    if (!dtc_kernel->prepare(m).empty()) {
+        std::fprintf(stderr, "smoke: DTC prepare() refused\n");
+        return 1;
+    }
+
+    const int64_t widths[] = {32, 128, 512};
+    const int reps = 3;
+    std::vector<SmokeRow> rows;
+    for (int64_t n : widths) {
+        Rng brng(static_cast<uint64_t>(n));
+        DenseMatrix b(m.cols(), n);
+        b.fillRandom(brng);
+        DenseMatrix c(m.rows(), n);
+        rows.push_back(smokeCompare(
+            "DtcKernel::compute", m, n, reps,
+            [&] { dtc_kernel->compute(b, c); }));
+        rows.push_back(smokeCompare(
+            "referenceSpmmTf32", m, n, reps,
+            [&] { referenceSpmmTf32(m, b, c); }));
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "smoke: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    char buf[256];
+    out << "{\n  \"schema\": \"dtc-bench-engine-v1\",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"matrix\": {\"rows\": %lld, \"cols\": %lld, "
+                  "\"nnz\": %lld},\n  \"reps\": %d,\n",
+                  static_cast<long long>(m.rows()),
+                  static_cast<long long>(m.cols()),
+                  static_cast<long long>(m.nnz()), reps);
+    out << buf << "  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SmokeRow& r = rows[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"kernel\": \"%s\", \"n\": %lld, "
+            "\"engine_off_ms\": %.4f, \"engine_on_ms\": %.4f, "
+            "\"speedup\": %.3f, \"legacy_b_round_ops\": %llu, "
+            "\"engine_b_round_ops\": %llu}%s\n",
+            r.kernel, static_cast<long long>(r.n), r.offMs, r.onMs,
+            r.onMs > 0.0 ? r.offMs / r.onMs : 0.0,
+            static_cast<unsigned long long>(r.legacyBRoundOps),
+            static_cast<unsigned long long>(r.engineBRoundOps),
+            i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    out.close();
+
+    if (!validateBenchJson(out_path, rows.size())) {
+        std::fprintf(stderr, "smoke: %s failed schema validation\n",
+                     out_path.c_str());
+        return 1;
+    }
+
+    std::printf("%-22s %6s %14s %13s %9s %13s\n", "kernel", "n",
+                "engine_off_ms", "engine_on_ms", "speedup",
+                "b_round_ops");
+    for (const SmokeRow& r : rows) {
+        std::printf("%-22s %6lld %14.4f %13.4f %8.2fx %5.1fx fewer\n",
+                    r.kernel, static_cast<long long>(r.n), r.offMs,
+                    r.onMs, r.onMs > 0.0 ? r.offMs / r.onMs : 0.0,
+                    r.engineBRoundOps > 0
+                        ? static_cast<double>(r.legacyBRoundOps) /
+                              static_cast<double>(r.engineBRoundOps)
+                        : 0.0);
+    }
+    std::printf("smoke: wrote %s (validated)\n", out_path.c_str());
+    return 0;
+}
+
 } // namespace dtc
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_engine.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out = argv[++i];
+    }
+    if (smoke)
+        return dtc::runEngineSmoke(out);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

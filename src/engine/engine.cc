@@ -1,0 +1,57 @@
+#include "engine/engine.h"
+
+#include <cstdlib>
+
+namespace dtc {
+namespace engine {
+
+namespace {
+
+/** -1: no override; 0/1: forced off/on by ScopedEngineMode. */
+thread_local int tlsEngineOverride = -1;
+
+} // namespace
+
+bool
+enabled()
+{
+    if (tlsEngineOverride >= 0)
+        return tlsEngineOverride != 0;
+    if (const char* env = std::getenv("DTC_ENGINE"))
+        return env[0] != '0';
+    return true;
+}
+
+ScopedEngineMode::ScopedEngineMode(bool on) : prev(tlsEngineOverride)
+{
+    tlsEngineOverride = on ? 1 : 0;
+}
+
+ScopedEngineMode::~ScopedEngineMode()
+{
+    tlsEngineOverride = prev;
+}
+
+int64_t
+panelCols(int64_t n)
+{
+    return n <= 2 * kPanelCols ? n : kPanelCols;
+}
+
+Stats&
+stats()
+{
+    static Stats s;
+    return s;
+}
+
+void
+resetStats()
+{
+    stats().roundingOps.store(0, std::memory_order_relaxed);
+    stats().panelHits.store(0, std::memory_order_relaxed);
+    stats().panelMisses.store(0, std::memory_order_relaxed);
+}
+
+} // namespace engine
+} // namespace dtc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Host execution engine — the CPU analog of the paper's runtime
+ * optimisations, shared by every SpMM kernel's compute() path.
+ *
+ * The paper's kernels win through three fetch/index restructurings:
+ *   - VFD (Vectorized Fetch Dense): wide, regular B loads;
+ *   - IP  (Index Precomputing): nonzero coordinates resolved at
+ *     format-conversion time instead of per-MAC;
+ *   - SMB (Shared-Memory Bypassing): operands flow to the compute
+ *     units without a staging round trip.
+ *
+ * On the host the same factors dominate, so the engine provides their
+ * CPU analogs:
+ *   - PreparedDense (prepared_dense.h): B is rounded to the target
+ *     tensor-core precision once per (contents, precision) pair —
+ *     O(K*N) rounding ops — instead of once per touching nonzero
+ *     inside each kernel's hot loop (O(nnz*N));
+ *   - column-panel tiling (panelCols): the N dimension is processed
+ *     in L1/L2-sized panels so each row window's C slab and the B
+ *     panel behind it stay cache-resident (the VFD/SMB analog);
+ *   - axpy micro-kernels (below): restrict-qualified, fixed-width
+ *     j-blocked inner loops the compiler can vectorize, with the
+ *     per-j accumulation order unchanged so results stay *bitwise
+ *     identical* to the scalar paths;
+ *   - flat (row, col, val) lanes for DTC (built in prepare(), see
+ *     DtcKernel): the IP analog.
+ *
+ * The engine is on by default.  DTC_ENGINE=0 in the environment or a
+ * ScopedEngineMode(false) on the calling thread routes kernels
+ * through their original scalar loops — the equivalence suite
+ * (tests/test_engine_equivalence.cc) pins the two paths to bitwise
+ * identity.
+ */
+#ifndef DTC_ENGINE_ENGINE_H
+#define DTC_ENGINE_ENGINE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace dtc {
+namespace engine {
+
+/**
+ * True when kernels should route through the engine.  Resolution,
+ * strongest first: an active ScopedEngineMode on the calling thread,
+ * the DTC_ENGINE environment variable (0/1, re-read per call so
+ * tests can toggle it), then the default (on).
+ */
+bool enabled();
+
+/** RAII thread-local engine on/off override (mirrors ScopedNumThreads). */
+class ScopedEngineMode
+{
+  public:
+    explicit ScopedEngineMode(bool on);
+    ~ScopedEngineMode();
+
+    ScopedEngineMode(const ScopedEngineMode&) = delete;
+    ScopedEngineMode& operator=(const ScopedEngineMode&) = delete;
+
+  private:
+    int prev;
+};
+
+/**
+ * Column-panel width for dense width @p n: the N dimension is
+ * processed kPanelCols floats at a time (4 KiB of B row per panel —
+ * a handful of B rows plus the window's C slab fit L1, and a whole
+ * window's distinct B panel stays L2-resident).  Widths up to
+ * 2*kPanelCols run as a single panel: one pass over the index arrays
+ * is cheaper than two panels of re-scan.
+ */
+int64_t panelCols(int64_t n);
+
+/** Default panel width in floats. */
+constexpr int64_t kPanelCols = 256;
+
+/** Fixed j-block width of the axpy micro-kernels. */
+constexpr int64_t kJBlock = 8;
+
+/**
+ * Process-wide engine counters (relaxed atomics; reset via
+ * resetStats()).  roundingOps is the measurable form of the
+ * O(nnz*N) -> O(K*N) B-rounding reduction: PreparedDense bumps it by
+ * rows*cols once per cache miss, while the scalar paths would have
+ * performed nnz*N roundings per compute() call.
+ */
+struct Stats
+{
+    std::atomic<uint64_t> roundingOps{0};  ///< B elements rounded.
+    std::atomic<uint64_t> panelHits{0};    ///< PreparedDense cache hits.
+    std::atomic<uint64_t> panelMisses{0};  ///< PreparedDense cache misses.
+};
+
+Stats& stats();
+void resetStats();
+
+/**
+ * c[0..n) += v * b[0..n).
+ *
+ * The workhorse inner loop of every engine-routed kernel: restrict
+ * pointers tell the compiler C and B never alias, and the fixed-trip
+ * j-block gives it a clean vectorizable body with a scalar tail for
+ * N not divisible by kJBlock.  Per output element this performs the
+ * exact FP32 operation sequence of the scalar paths (one multiply,
+ * one add, ascending j), so outputs are bitwise identical.
+ */
+inline void
+axpy(float* __restrict c, const float* __restrict b, float v,
+     int64_t n)
+{
+    int64_t j = 0;
+    for (; j + kJBlock <= n; j += kJBlock) {
+        for (int64_t u = 0; u < kJBlock; ++u)
+            c[j + u] += v * b[j + u];
+    }
+    for (; j < n; ++j)
+        c[j] += v * b[j];
+}
+
+/** acc[0..n) += v * b[0..n) with double accumulation (referenceSpmm). */
+inline void
+axpyDouble(double* __restrict acc, const float* __restrict b, double v,
+           int64_t n)
+{
+    int64_t j = 0;
+    for (; j + kJBlock <= n; j += kJBlock) {
+        for (int64_t u = 0; u < kJBlock; ++u)
+            acc[j + u] += v * static_cast<double>(b[j + u]);
+    }
+    for (; j < n; ++j)
+        acc[j] += v * static_cast<double>(b[j]);
+}
+
+} // namespace engine
+} // namespace dtc
+
+#endif // DTC_ENGINE_ENGINE_H

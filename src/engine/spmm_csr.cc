@@ -1,0 +1,69 @@
+#include "engine/spmm_csr.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.h"
+#include "engine/engine.h"
+#include "engine/prepared_dense.h"
+
+namespace dtc {
+namespace engine {
+
+void
+spmmCsrRounded(int64_t rows, const int64_t* row_ptr,
+               const int32_t* col_idx, const float* vals, Precision p,
+               const DenseMatrix& b, DenseMatrix& c, int64_t grain)
+{
+    const int64_t n = c.cols();
+    const PreparedDense pb(b, p);
+    const bool round_a = p != Precision::Fp32;
+    c.setZero();
+    parallelFor(0, rows, grain, [&](int64_t r_lo, int64_t r_hi) {
+        const int64_t pw = panelCols(n);
+        for (int64_t j0 = 0; j0 < n; j0 += pw) {
+            const int64_t pn = std::min(pw, n - j0);
+            for (int64_t r = r_lo; r < r_hi; ++r) {
+                float* __restrict crow = c.row(r) + j0;
+                for (int64_t k = row_ptr[r]; k < row_ptr[r + 1];
+                     ++k) {
+                    const float v =
+                        round_a ? roundToPrecision(vals[k], p)
+                                : vals[k];
+                    axpy(crow, pb.row(col_idx[k]) + j0, v, pn);
+                }
+            }
+        }
+    });
+}
+
+void
+spmmCsrDoubleAcc(int64_t rows, const int64_t* row_ptr,
+                 const int32_t* col_idx, const float* vals,
+                 const DenseMatrix& b, DenseMatrix& c, int64_t grain)
+{
+    const int64_t n = c.cols();
+    const PreparedDense pb(b, Precision::Fp32);
+    parallelFor(0, rows, grain, [&](int64_t r_lo, int64_t r_hi) {
+        const int64_t pw = panelCols(n);
+        std::vector<double> acc(static_cast<size_t>(pw));
+        for (int64_t j0 = 0; j0 < n; j0 += pw) {
+            const int64_t pn = std::min(pw, n - j0);
+            for (int64_t r = r_lo; r < r_hi; ++r) {
+                std::fill(acc.begin(), acc.begin() + pn, 0.0);
+                for (int64_t k = row_ptr[r]; k < row_ptr[r + 1];
+                     ++k) {
+                    axpyDouble(acc.data(),
+                               pb.row(col_idx[k]) + j0,
+                               static_cast<double>(vals[k]), pn);
+                }
+                float* __restrict crow = c.row(r) + j0;
+                for (int64_t j = 0; j < pn; ++j)
+                    crow[j] = static_cast<float>(acc[j]);
+            }
+        }
+    });
+}
+
+} // namespace engine
+} // namespace dtc

@@ -65,6 +65,11 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
     const auto& col_idx = m.colIdx();
     const auto& vals = m.values();
 
+    // The counting pass resolves each nonzero's condensed column via
+    // std::lower_bound; memoize it (windows own disjoint row — hence
+    // nonzero — ranges) so the placement pass below reuses the value
+    // instead of repeating the identical binary search.
+    std::vector<int32_t> newcol_of(static_cast<size_t>(m.nnz()));
     t.tcOffsetArr.assign(static_cast<size_t>(num_blocks) + 1, 0);
     parallelFor(0, sgt.numWindows, kWindowGrain,
                 [&](int64_t w_lo, int64_t w_hi) {
@@ -80,6 +85,7 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
                     auto it = std::lower_bound(cols_begin, cols_end,
                                                col_idx[k]);
                     int64_t newcol = it - cols_begin;
+                    newcol_of[k] = static_cast<int32_t>(newcol);
                     int64_t b = t.rowWindowOffsetArr[w] +
                                 newcol / shape.blockWidth;
                     t.tcOffsetArr[b + 1]++;
@@ -100,14 +106,9 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
             const int64_t row_lo = w * shape.windowHeight;
             const int64_t row_hi =
                 std::min(row_lo + shape.windowHeight, m.rows());
-            const int32_t* cols_begin = sgt.windowColsBegin(w);
-            const int32_t* cols_end =
-                cols_begin + sgt.windowColCount(w);
             for (int64_t r = row_lo; r < row_hi; ++r) {
                 for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-                    auto it = std::lower_bound(cols_begin, cols_end,
-                                               col_idx[k]);
-                    int64_t newcol = it - cols_begin;
+                    int64_t newcol = newcol_of[k];
                     int64_t b = t.rowWindowOffsetArr[w] +
                                 newcol / shape.blockWidth;
                     int64_t local =

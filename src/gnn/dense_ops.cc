@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "engine/engine.h"
 
 namespace dtc {
 
@@ -26,6 +27,26 @@ gemm(const DenseMatrix& a, bool transpose_a, const DenseMatrix& b,
     };
 
     c.setZero();
+    if (engine::enabled() && !transpose_b) {
+        // Engine path: eb(kk, j) is contiguous B row kk, so the inner
+        // loop is the same restrict/j-blocked axpy the SpMM kernels
+        // use, panel-tiled over N.  Per C element the kk order (and
+        // the av == 0 skip) is unchanged — bitwise-identical output.
+        const int64_t pw = engine::panelCols(n);
+        for (int64_t j0 = 0; j0 < n; j0 += pw) {
+            const int64_t pn = std::min(pw, n - j0);
+            for (int64_t i = 0; i < m; ++i) {
+                float* crow = c.row(i) + j0;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const float av = ea(i, kk);
+                    if (av == 0.0f)
+                        continue;
+                    engine::axpy(crow, b.row(kk) + j0, av, pn);
+                }
+            }
+        }
+        return;
+    }
     // i-k-j loop order keeps the inner loop streaming over C and B
     // rows (cache friendly for the common non-transposed case).
     for (int64_t i = 0; i < m; ++i) {

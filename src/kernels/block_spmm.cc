@@ -9,14 +9,6 @@
 
 namespace dtc {
 
-std::string
-BlockSpmmKernel::name() const
-{
-    std::ostringstream os;
-    os << "Block-SpMM(b=" << blockSize << ")";
-    return os.str();
-}
-
 Refusal
 BlockSpmmKernel::prepare(const CsrMatrix& a)
 {

@@ -22,10 +22,12 @@ class BlockSpmmKernel : public SpmmKernel
 {
   public:
     explicit BlockSpmmKernel(int64_t block_size)
-        : blockSize(block_size)
+        : blockSize(block_size),
+          cachedName("Block-SpMM(b=" + std::to_string(block_size) +
+                     ")")
     {}
 
-    std::string name() const override;
+    std::string name() const override { return cachedName; }
     Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
@@ -36,6 +38,7 @@ class BlockSpmmKernel : public SpmmKernel
 
   private:
     int64_t blockSize;
+    std::string cachedName;
     /** Structure-only BELL (values materialized only by compute()). */
     BellMatrix mat;
     /** Source matrix kept for on-demand value materialization. */

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "engine/engine.h"
+#include "engine/spmm_csr.h"
 #include "kernels/b_traffic.h"
 
 namespace dtc {
@@ -26,6 +28,13 @@ CuSparseKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     DTC_CHECK(ready);
     DTC_CHECK(mat.cols() == b.rows());
     DTC_CHECK(c.rows() == mat.rows() && c.cols() == b.cols());
+    if (engine::enabled()) {
+        engine::spmmCsrRounded(mat.rows(), mat.rowPtr().data(),
+                               mat.colIdx().data(),
+                               mat.values().data(), Precision::Fp32,
+                               b, c, 64);
+        return;
+    }
     const int64_t n = b.cols();
     c.setZero();
     // Row-parallel: each chunk writes a disjoint slice of C.

@@ -6,12 +6,15 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/tf32.h"
+#include "engine/engine.h"
+#include "engine/prepared_dense.h"
 #include "kernels/b_traffic.h"
 
 namespace dtc {
 
-std::string
-DtcKernel::name() const
+// name() used to rebuild this ostringstream on every cost()/launch()
+// call; the options are fixed at construction, so format it once.
+DtcKernel::DtcKernel(DtcOptions options) : opts(options)
 {
     std::ostringstream os;
     os << "DTC-SpMM";
@@ -41,7 +44,7 @@ DtcKernel::name() const
             os << "ME-TCF only";
         os << "]";
     }
-    return os.str();
+    cachedName = os.str();
 }
 
 Refusal
@@ -55,8 +58,66 @@ DtcKernel::prepare(const CsrMatrix& a)
         !r.ok())
         return r;
     format = MeTcfMatrix::build(a);
+    buildLanes();
     ready = true;
     return Refusal::accept();
+}
+
+void
+DtcKernel::buildLanes()
+{
+    const int64_t wh = format.shape().windowHeight;
+    const int64_t bw = format.shape().blockWidth;
+    const int64_t tile_elems = wh * bw;
+    const int64_t num_blocks = format.numTcBlocks();
+    const auto& rwo = format.rowWindowOffset();
+    const auto& tco = format.tcOffset();
+    const auto& lid = format.tcLocalId();
+    const auto& atob = format.sparseAtoB();
+    const auto& vals = format.values();
+
+    lanes.row.resize(static_cast<size_t>(format.nnz()));
+    lanes.col.resize(static_cast<size_t>(format.nnz()));
+    lanes.val.resize(static_cast<size_t>(format.nnz()));
+
+    // A fully-occupied block has every (row, lane) slot populated, so
+    // its expanded tile multiplies with no skip tests and — unlike a
+    // partially-filled tile — cannot change numerics: a padded slot's
+    // 0 * b[j] would be NaN for b rounded to infinity (FP16
+    // saturation), so only 100%-occupancy blocks take the dense path.
+    lanes.denseTileOf.assign(static_cast<size_t>(num_blocks), -1);
+    int64_t num_dense = 0;
+    for (int64_t blk = 0; blk < num_blocks; ++blk) {
+        if (format.nnzInBlock(blk) == tile_elems)
+            lanes.denseTileOf[blk] = num_dense++;
+    }
+    lanes.denseTiles.resize(static_cast<size_t>(num_dense) *
+                            tile_elems);
+
+    parallelFor(0, format.numWindows(), 16,
+                [&](int64_t w_lo, int64_t w_hi) {
+        for (int64_t w = w_lo; w < w_hi; ++w) {
+            for (int64_t blk = rwo[w]; blk < rwo[w + 1]; ++blk) {
+                const int32_t* cols = atob.data() + blk * bw;
+                for (int64_t k = tco[blk]; k < tco[blk + 1]; ++k) {
+                    const int64_t local = lid[k];
+                    lanes.row[k] = static_cast<int32_t>(
+                        w * wh + local / bw);
+                    lanes.col[k] = cols[local % bw];
+                    lanes.val[k] =
+                        roundToPrecision(vals[k], opts.precision);
+                }
+                const int64_t t = lanes.denseTileOf[blk];
+                if (t >= 0) {
+                    // Full block: every tile slot is written.
+                    float* tile =
+                        lanes.denseTiles.data() + t * tile_elems;
+                    for (int64_t k = tco[blk]; k < tco[blk + 1]; ++k)
+                        tile[lid[k]] = lanes.val[k];
+                }
+            }
+        }
+    });
 }
 
 void
@@ -80,6 +141,54 @@ DtcKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     // order with TF32 operand rounding — identical numerics to the
     // mma.m16n8k4 pipeline and to referenceSpmmTf32.  Window-parallel
     // like the real grid: each window writes a disjoint row slab of C.
+    if (engine::enabled()) {
+        // Engine path: B pre-rounded once (PreparedDense), nonzero
+        // coordinates and rounded values read from the flat lanes
+        // built in prepare() (IP), N walked in cache-sized column
+        // panels (VFD/SMB).  Per C element the accumulation order is
+        // unchanged, so outputs match the scalar loop bitwise.
+        const engine::PreparedDense pb(b, opts.precision);
+        const int64_t tile_elems = wh * bw;
+        parallelFor(0, format.numWindows(), 16,
+                    [&](int64_t w_lo, int64_t w_hi) {
+            const int64_t pw = engine::panelCols(n);
+            for (int64_t j0 = 0; j0 < n; j0 += pw) {
+                const int64_t pn = std::min(pw, n - j0);
+                for (int64_t w = w_lo; w < w_hi; ++w) {
+                    for (int64_t blk = rwo[w]; blk < rwo[w + 1];
+                         ++blk) {
+                        const int64_t t = lanes.denseTileOf[blk];
+                        if (t >= 0) {
+                            const float* tile =
+                                lanes.denseTiles.data() +
+                                t * tile_elems;
+                            const int32_t* cols =
+                                atob.data() + blk * bw;
+                            for (int64_t i = 0; i < wh; ++i) {
+                                float* crow =
+                                    c.row(w * wh + i) + j0;
+                                const float* trow = tile + i * bw;
+                                for (int64_t l = 0; l < bw; ++l)
+                                    engine::axpy(
+                                        crow,
+                                        pb.row(cols[l]) + j0,
+                                        trow[l], pn);
+                            }
+                            continue;
+                        }
+                        for (int64_t k = tco[blk]; k < tco[blk + 1];
+                             ++k) {
+                            engine::axpy(
+                                c.row(lanes.row[k]) + j0,
+                                pb.row(lanes.col[k]) + j0,
+                                lanes.val[k], pn);
+                        }
+                    }
+                }
+            }
+        });
+        return;
+    }
     parallelFor(0, format.numWindows(), 16,
                 [&](int64_t w_lo, int64_t w_hi) {
         for (int64_t w = w_lo; w < w_hi; ++w) {

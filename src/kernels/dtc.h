@@ -79,9 +79,9 @@ class DtcKernel : public SpmmKernel
     /** TC blocks per thread block under strict balance. */
     static constexpr int64_t kBlocksPerBalancedTb = 32;
 
-    explicit DtcKernel(DtcOptions options = {}) : opts(options) {}
+    explicit DtcKernel(DtcOptions options = {});
 
-    std::string name() const override;
+    std::string name() const override { return cachedName; }
     Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
@@ -95,9 +95,32 @@ class DtcKernel : public SpmmKernel
     /** Selector decision this kernel would make on @p arch. */
     SelectorDecision decide(const ArchSpec& arch) const;
 
+    /**
+     * The engine's Index-Precomputing analog, built once in
+     * prepare(): every (localId, sparseAtoB) pair expanded into flat
+     * (C row, B row, pre-rounded value) lanes in ME-TCF nonzero
+     * order, plus pre-expanded dense 16x8 tiles for fully-occupied
+     * TC blocks (the expandBlock micro-kernel path).
+     */
+    struct FlatLanes
+    {
+        std::vector<int32_t> row;  ///< C row per nonzero.
+        std::vector<int32_t> col;  ///< B row per nonzero.
+        std::vector<float> val;    ///< Value in operand precision.
+        /** Per TC block: index into denseTiles, or -1 (sparse path). */
+        std::vector<int64_t> denseTileOf;
+        /** Rounded windowHeight x blockWidth tiles, tile-major. */
+        std::vector<float> denseTiles;
+    };
+
+    const FlatLanes& flatLanes() const { return lanes; }
+
   private:
     LaunchResult costBase(int64_t n, const CostModel& cm) const;
     LaunchResult costBalanced(int64_t n, const CostModel& cm) const;
+
+    /** Builds FlatLanes from the freshly converted ME-TCF format. */
+    void buildLanes();
 
     /** Per-block event tally shared by both load distributions. */
     void blockWork(int64_t block, int64_t n, TbWork& tb,
@@ -107,7 +130,9 @@ class DtcKernel : public SpmmKernel
     void applyPipelineProfile(TbWork& tb) const;
 
     DtcOptions opts;
+    std::string cachedName;
     MeTcfMatrix format;
+    FlatLanes lanes;
     bool ready = false;
 };
 

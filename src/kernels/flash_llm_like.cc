@@ -9,14 +9,6 @@
 
 namespace dtc {
 
-std::string
-FlashLlmKernel::name() const
-{
-    std::ostringstream os;
-    os << "Flash-LLM(v" << ver << ")";
-    return os.str();
-}
-
 Refusal
 FlashLlmKernel::prepare(const CsrMatrix& a)
 {

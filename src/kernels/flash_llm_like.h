@@ -36,9 +36,12 @@ class FlashLlmKernel : public SpmmKernel
     /** A-tile edge length. */
     static constexpr int64_t kTile = 64;
 
-    explicit FlashLlmKernel(int version) : ver(version) {}
+    explicit FlashLlmKernel(int version)
+        : ver(version),
+          cachedName("Flash-LLM(v" + std::to_string(version) + ")")
+    {}
 
-    std::string name() const override;
+    std::string name() const override { return cachedName; }
     Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
@@ -52,6 +55,7 @@ class FlashLlmKernel : public SpmmKernel
 
   private:
     int ver;
+    std::string cachedName;
     CsrMatrix mat;
     /** tiles[tileRow] = sorted nonempty tile-column indices. */
     std::vector<std::vector<int32_t>> tiles;

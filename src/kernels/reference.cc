@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/tf32.h"
+#include "engine/engine.h"
+#include "engine/spmm_csr.h"
 
 namespace dtc {
 
@@ -20,6 +22,12 @@ referenceSpmm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix& c)
 {
     DTC_CHECK(a.cols() == b.rows());
     DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    if (engine::enabled()) {
+        engine::spmmCsrDoubleAcc(a.rows(), a.rowPtr().data(),
+                                 a.colIdx().data(), a.values().data(),
+                                 b, c, kRowGrain);
+        return;
+    }
     const int64_t n = b.cols();
     parallelFor(0, a.rows(), kRowGrain,
                 [&](int64_t r_lo, int64_t r_hi) {
@@ -46,6 +54,12 @@ referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
 {
     DTC_CHECK(a.cols() == b.rows());
     DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    if (engine::enabled()) {
+        engine::spmmCsrRounded(a.rows(), a.rowPtr().data(),
+                               a.colIdx().data(), a.values().data(),
+                               Precision::Tf32, b, c, kRowGrain);
+        return;
+    }
     const int64_t n = b.cols();
     c.setZero();
     parallelFor(0, a.rows(), kRowGrain,

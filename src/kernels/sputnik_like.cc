@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "engine/engine.h"
+#include "engine/spmm_csr.h"
 #include "kernels/b_traffic.h"
 
 namespace dtc {
@@ -40,6 +42,16 @@ SputnikKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     DTC_CHECK(ready);
     DTC_CHECK(mat.cols() == b.rows());
     DTC_CHECK(c.rows() == mat.rows() && c.cols() == b.cols());
+    if (engine::enabled()) {
+        // The swizzle only changes scheduling: every row writes a
+        // disjoint C slab, so natural row order (and row-parallel
+        // chunks) is bitwise-identical to the swizzled serial walk.
+        engine::spmmCsrRounded(mat.rows(), mat.rowPtr().data(),
+                               mat.colIdx().data(),
+                               mat.values().data(), Precision::Fp32,
+                               b, c, 64);
+        return;
+    }
     const int64_t n = b.cols();
     c.setZero();
     // Swizzle changes scheduling, not math: results match row order.

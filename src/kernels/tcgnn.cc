@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/tf32.h"
+#include "engine/engine.h"
+#include "engine/spmm_csr.h"
 #include "kernels/b_traffic.h"
 
 namespace dtc {
@@ -31,6 +33,16 @@ TcgnnKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
     DTC_CHECK(ready);
     DTC_CHECK(format.cols() == b.rows());
     DTC_CHECK(c.rows() == format.rows() && c.cols() == b.cols());
+    if (engine::enabled()) {
+        // TCF's nodePointer/edgeList walk is CSR-shaped: route it
+        // through the engine's panel-tiled TF32 driver.
+        engine::spmmCsrRounded(format.rows(),
+                               format.nodePointer().data(),
+                               format.edgeList().data(),
+                               format.values().data(),
+                               Precision::Tf32, b, c, 256);
+        return;
+    }
     const int64_t n = b.cols();
     c.setZero();
     // Walk the TCF arrays exactly as the kernel's FetchSparse does:

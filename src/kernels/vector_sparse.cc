@@ -1,21 +1,12 @@
 #include "kernels/vector_sparse.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/check.h"
 #include "common/tf32.h"
 #include "kernels/b_traffic.h"
 
 namespace dtc {
-
-std::string
-VectorSparseKernel::name() const
-{
-    std::ostringstream os;
-    os << "VectorSparse(v=" << vecLen << ")";
-    return os.str();
-}
 
 Refusal
 VectorSparseKernel::prepare(const CsrMatrix& a)

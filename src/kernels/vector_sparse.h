@@ -22,9 +22,12 @@ namespace dtc {
 class VectorSparseKernel : public SpmmKernel
 {
   public:
-    explicit VectorSparseKernel(int64_t vec_len) : vecLen(vec_len) {}
+    explicit VectorSparseKernel(int64_t vec_len)
+        : vecLen(vec_len),
+          cachedName("VectorSparse(v=" + std::to_string(vec_len) + ")")
+    {}
 
-    std::string name() const override;
+    std::string name() const override { return cachedName; }
     Refusal prepare(const CsrMatrix& a) override;
     bool prepared() const override { return ready; }
     void compute(const DenseMatrix& b, DenseMatrix& c) const override;
@@ -35,6 +38,7 @@ class VectorSparseKernel : public SpmmKernel
 
   private:
     int64_t vecLen;
+    std::string cachedName;
     CvseMatrix mat;
     bool ready = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -92,10 +93,12 @@ lshCandidatePairs(const std::vector<uint32_t>& signatures,
     const int rows_per_band = num_hashes / bands;
 
     std::vector<std::pair<int32_t, int32_t>> pairs;
+    pairs.reserve(max_pairs);
     // Bucket key -> members, rebuilt per band.
     std::unordered_map<uint64_t, std::vector<int32_t>> buckets;
     // Global de-dup of emitted pairs.
-    std::unordered_map<uint64_t, bool> seen;
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(max_pairs);
 
     for (int band = 0; band < bands; ++band) {
         buckets.clear();
@@ -131,7 +134,7 @@ lshCandidatePairs(const std::vector<uint32_t>& signatures,
                     const uint64_t pk =
                         (static_cast<uint64_t>(a) << 32) |
                         static_cast<uint32_t>(b);
-                    if (!seen.emplace(pk, true).second)
+                    if (!seen.insert(pk).second)
                         continue;
                     pairs.emplace_back(a, b);
                     if (pairs.size() >= max_pairs)

@@ -82,7 +82,8 @@ int64_t
 mergeHierarchy(int64_t num_elems, const SetOf& set_of,
                const std::vector<int64_t>& weight, int64_t size_limit,
                const TcaParams& p, uint64_t seed, ClusterSets& sets,
-               int64_t* candidate_pairs_out)
+               int64_t* candidate_pairs_out,
+               std::vector<uint32_t>* sigs_out = nullptr)
 {
     MinHasher hasher(p.numHashes, seed);
     std::vector<uint32_t> sigs(static_cast<size_t>(num_elems) *
@@ -136,6 +137,8 @@ mergeHierarchy(int64_t num_elems, const SetOf& set_of,
         if (sets.find(static_cast<int32_t>(i)) == i)
             clusters++;
     }
+    if (sigs_out)
+        *sigs_out = std::move(sigs);
     return clusters;
 }
 
@@ -220,10 +223,11 @@ tcaReorder(const CsrMatrix& m, const TcaParams& params)
                 csets[c].data(), csets[c].data() + csets[c].size());
         };
         std::vector<int64_t> cweight(static_cast<size_t>(nc), 1);
+        std::vector<uint32_t> cluster_sigs;
         res.numSuperClusters = mergeHierarchy(
             nc, cluster_set, cweight, params.smNum, params,
             params.seed ^ 0x5eed5eedull, cc_sets,
-            &res.candidatePairsH2);
+            &res.candidatePairsH2, &cluster_sigs);
 
         // Order clusters grouped by super-cluster.
         std::vector<int32_t> cc_id(static_cast<size_t>(nc), -1);
@@ -240,6 +244,24 @@ tcaReorder(const CsrMatrix& m, const TcaParams& params)
         // Within a super-cluster, chain clusters by similarity
         // (greedy nearest neighbour) so that the 16-row windows that
         // straddle cluster boundaries still see similar columns.
+        // Similarity comes from the Hierarchy-II MinHash signatures
+        // (matching-slot fraction estimates Jaccard): O(numHashes)
+        // per candidate instead of O(|set|) exact intersection, which
+        // made the greedy chain O(k^2 * setsize) per super-cluster.
+        const int nh = params.numHashes;
+        auto sigSimilarity = [&](int32_t ca, int32_t cb) {
+            if (csets[ca].empty() || csets[cb].empty())
+                return 0.0; // empty all-ones signatures never match
+            const uint32_t* sa = cluster_sigs.data() +
+                                 static_cast<size_t>(ca) * nh;
+            const uint32_t* sb = cluster_sigs.data() +
+                                 static_cast<size_t>(cb) * nh;
+            int match = 0;
+            for (int i = 0; i < nh; ++i)
+                match += (sa[i] == sb[i]) ? 1 : 0;
+            return static_cast<double>(match) /
+                   static_cast<double>(nh);
+        };
         auto chainOrder = [&](std::vector<int32_t>& members) {
             if (members.size() < 3)
                 return;
@@ -252,14 +274,11 @@ tcaReorder(const CsrMatrix& m, const TcaParams& params)
             for (size_t step = 1; step < members.size(); ++step) {
                 double best_sim = -1.0;
                 size_t best = 0;
-                const auto& cs = csets[members[cur]];
                 for (size_t j = 0; j < members.size(); ++j) {
                     if (used[j])
                         continue;
-                    const auto& other = csets[members[j]];
-                    const double sim = jaccardSorted(
-                        cs.data(), cs.data() + cs.size(),
-                        other.data(), other.data() + other.size());
+                    const double sim =
+                        sigSimilarity(members[cur], members[j]);
                     if (sim > best_sim) {
                         best_sim = sim;
                         best = j;

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Engine-vs-scalar equivalence suite: every kernel routed through the
+ * host execution engine (src/engine/) must produce bitwise-identical
+ * compute() output with the engine on and off, across matrix shapes,
+ * dense widths (including odd N not divisible by the j-block width
+ * and N wide enough for multiple column panels), operand precisions,
+ * and thread counts.  Also pins the PreparedDense cache semantics:
+ * hits on unchanged B, re-round on in-place mutation.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/precision.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "engine/engine.h"
+#include "engine/prepared_dense.h"
+#include "gnn/dense_ops.h"
+#include "kernels/dtc.h"
+#include "kernels/kernel.h"
+#include "kernels/reference.h"
+#include "matrix/coo.h"
+
+namespace dtc {
+namespace {
+
+/**
+ * Dense widths: j-block multiples, odd tails (13, 137), panel-exact
+ * (256 = kPanelCols), and 515 (odd AND > 2*kPanelCols, forcing the
+ * multi-panel path with a ragged last panel).
+ */
+const int64_t kWidths[] = {1, 8, 13, 16, 137, 256, 515};
+
+std::vector<std::pair<std::string, CsrMatrix>>
+sweepMatrices()
+{
+    std::vector<std::pair<std::string, CsrMatrix>> out;
+    out.emplace_back("empty-32x32", CsrMatrix(32, 32));
+
+    CooMatrix onerow(64, 64);
+    for (int32_t c = 0; c < 64; c += 3)
+        onerow.add(0, c, 1.0f + static_cast<float>(c));
+    out.emplace_back("single-populated-row",
+                     CsrMatrix::fromCoo(onerow));
+
+    Rng rng(2024);
+    // Dense blocks: exercises the DTC fully-occupied-tile path.
+    out.emplace_back("dense-blocks",
+                     genBlockDiagonal(64, 16, 1.0, rng));
+    out.emplace_back("dense-ish",
+                     genBlockDiagonal(64, 16, 0.9, rng));
+    out.emplace_back("sparse-95pct", genUniform(256, 4.0, rng));
+    out.emplace_back("community",
+                     genCommunity(512, 8, 12.0, 0.85, rng));
+    return out;
+}
+
+std::vector<KernelKind>
+engineRoutedKinds()
+{
+    return {KernelKind::CuSparse, KernelKind::Tcgnn,
+            KernelKind::Dtc,      KernelKind::DtcBase,
+            KernelKind::DtcBalanced, KernelKind::Sputnik};
+}
+
+/** compute() under a forced engine mode; empty c when refused. */
+DenseMatrix
+runCompute(SpmmKernel& kernel, const CsrMatrix& a, int64_t n,
+           bool engine_on)
+{
+    engine::ScopedEngineMode mode(engine_on);
+    Rng rng(99);
+    DenseMatrix b(a.cols(), n);
+    b.fillRandom(rng);
+    DenseMatrix c(a.rows(), n);
+    kernel.compute(b, c);
+    return c;
+}
+
+void
+expectBitwiseEqual(const DenseMatrix& a, const DenseMatrix& b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    if (a.size() > 0) {
+        EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                              a.size() * sizeof(float)),
+                  0);
+    }
+}
+
+TEST(EngineEquivalence, AllEngineRoutedKernelsAllWidths)
+{
+    for (const auto& [mat_name, m] : sweepMatrices()) {
+        for (KernelKind kind : engineRoutedKinds()) {
+            auto kernel = makeKernel(kind);
+            if (!kernel->prepare(m).empty())
+                continue;
+            for (int64_t n : kWidths) {
+                SCOPED_TRACE(std::string(kernelKindName(kind)) +
+                             " on " + mat_name + " n=" +
+                             std::to_string(n));
+                DenseMatrix scalar =
+                    runCompute(*kernel, m, n, false);
+                DenseMatrix engine = runCompute(*kernel, m, n, true);
+                expectBitwiseEqual(scalar, engine);
+            }
+        }
+    }
+}
+
+TEST(EngineEquivalence, DtcAllPrecisions)
+{
+    const Precision precisions[] = {Precision::Tf32, Precision::Bf16,
+                                    Precision::Fp16};
+    for (const auto& [mat_name, m] : sweepMatrices()) {
+        for (Precision p : precisions) {
+            DtcOptions opts;
+            opts.precision = p;
+            DtcKernel kernel(opts);
+            if (!kernel.prepare(m).empty())
+                continue;
+            for (int64_t n : kWidths) {
+                SCOPED_TRACE(mat_name + " precision=" +
+                             precisionName(p) + " n=" +
+                             std::to_string(n));
+                DenseMatrix scalar = runCompute(kernel, m, n, false);
+                DenseMatrix engine = runCompute(kernel, m, n, true);
+                expectBitwiseEqual(scalar, engine);
+            }
+        }
+    }
+}
+
+TEST(EngineEquivalence, ReferenceKernels)
+{
+    for (const auto& [mat_name, m] : sweepMatrices()) {
+        for (int64_t n : kWidths) {
+            SCOPED_TRACE(mat_name + " n=" + std::to_string(n));
+            Rng rng(5);
+            DenseMatrix b(m.cols(), n);
+            b.fillRandom(rng);
+
+            DenseMatrix c_scalar(m.rows(), n);
+            DenseMatrix c_engine(m.rows(), n);
+            {
+                engine::ScopedEngineMode mode(false);
+                referenceSpmm(m, b, c_scalar);
+            }
+            {
+                engine::ScopedEngineMode mode(true);
+                referenceSpmm(m, b, c_engine);
+            }
+            expectBitwiseEqual(c_scalar, c_engine);
+
+            {
+                engine::ScopedEngineMode mode(false);
+                referenceSpmmTf32(m, b, c_scalar);
+            }
+            {
+                engine::ScopedEngineMode mode(true);
+                referenceSpmmTf32(m, b, c_engine);
+            }
+            expectBitwiseEqual(c_scalar, c_engine);
+        }
+    }
+}
+
+TEST(EngineEquivalence, GemmAllTransposeCombos)
+{
+    Rng rng(11);
+    const int64_t m = 37, k = 23, n = 13; // odd, j-block-ragged
+    for (bool ta : {false, true}) {
+        for (bool tb : {false, true}) {
+            SCOPED_TRACE(std::string("ta=") + (ta ? "1" : "0") +
+                         " tb=" + (tb ? "1" : "0"));
+            DenseMatrix a(ta ? k : m, ta ? m : k);
+            DenseMatrix b(tb ? n : k, tb ? k : n);
+            a.fillRandom(rng);
+            b.fillRandom(rng);
+            DenseMatrix c_scalar(m, n), c_engine(m, n);
+            {
+                engine::ScopedEngineMode mode(false);
+                gemm(a, ta, b, tb, c_scalar);
+            }
+            {
+                engine::ScopedEngineMode mode(true);
+                gemm(a, ta, b, tb, c_engine);
+            }
+            expectBitwiseEqual(c_scalar, c_engine);
+        }
+    }
+}
+
+TEST(EngineEquivalence, EngineOnThreadCountInvariant)
+{
+    for (const auto& [mat_name, m] : sweepMatrices()) {
+        for (KernelKind kind : engineRoutedKinds()) {
+            auto kernel = makeKernel(kind);
+            if (!kernel->prepare(m).empty())
+                continue;
+            SCOPED_TRACE(std::string(kernelKindName(kind)) + " on " +
+                         mat_name);
+            DenseMatrix c1, c8;
+            {
+                ScopedNumThreads t(1);
+                c1 = runCompute(*kernel, m, 137, true);
+            }
+            {
+                ScopedNumThreads t(8);
+                c8 = runCompute(*kernel, m, 137, true);
+            }
+            expectBitwiseEqual(c1, c8);
+        }
+    }
+}
+
+TEST(EngineEquivalence, PreparedDenseCacheHitsAndInvalidation)
+{
+    engine::clearPreparedDenseCache();
+    engine::resetStats();
+    Rng rng(3);
+    DenseMatrix b(64, 32);
+    b.fillRandom(rng);
+
+    {
+        engine::PreparedDense p1(b, Precision::Tf32);
+        EXPECT_FALSE(p1.fromCache());
+    }
+    EXPECT_EQ(engine::stats().panelMisses.load(), 1u);
+    EXPECT_EQ(engine::stats().roundingOps.load(),
+              static_cast<uint64_t>(64 * 32));
+
+    {
+        // Same contents: served from cache, no new rounding.
+        engine::PreparedDense p2(b, Precision::Tf32);
+        EXPECT_TRUE(p2.fromCache());
+    }
+    EXPECT_EQ(engine::stats().panelHits.load(), 1u);
+    EXPECT_EQ(engine::stats().roundingOps.load(),
+              static_cast<uint64_t>(64 * 32));
+
+    {
+        // Different precision: its own entry.
+        engine::PreparedDense p3(b, Precision::Fp16);
+        EXPECT_FALSE(p3.fromCache());
+    }
+    EXPECT_EQ(engine::stats().panelMisses.load(), 2u);
+
+    // In-place mutation (a GCN feature matrix between steps) must
+    // re-round rather than serve the stale panel.
+    b.at(5, 7) += 1.0f;
+    {
+        engine::PreparedDense p4(b, Precision::Tf32);
+        EXPECT_FALSE(p4.fromCache());
+    }
+    EXPECT_EQ(engine::stats().panelMisses.load(), 3u);
+
+    // Fp32 is pass-through: no rounding, no cache traffic.
+    const uint64_t ops = engine::stats().roundingOps.load();
+    {
+        engine::PreparedDense p5(b, Precision::Fp32);
+        EXPECT_FALSE(p5.fromCache());
+        EXPECT_EQ(p5.row(0), b.row(0));
+    }
+    EXPECT_EQ(engine::stats().roundingOps.load(), ops);
+
+    engine::clearPreparedDenseCache();
+}
+
+/** The rounded panel must contain exactly roundToPrecision(B). */
+TEST(EngineEquivalence, PreparedDenseValuesMatchScalarRounding)
+{
+    engine::clearPreparedDenseCache();
+    Rng rng(17);
+    DenseMatrix b(33, 21);
+    b.fillRandom(rng, -70000.0f, 70000.0f); // exercise FP16 saturation
+    for (Precision p :
+         {Precision::Tf32, Precision::Bf16, Precision::Fp16}) {
+        engine::PreparedDense pd(b, p);
+        for (int64_t r = 0; r < b.rows(); ++r) {
+            const float* pr = pd.row(r);
+            for (int64_t j = 0; j < b.cols(); ++j) {
+                const float want = roundToPrecision(b.at(r, j), p);
+                ASSERT_EQ(std::memcmp(&pr[j], &want, sizeof(float)),
+                          0)
+                    << "r=" << r << " j=" << j
+                    << " p=" << precisionName(p);
+            }
+        }
+    }
+    engine::clearPreparedDenseCache();
+}
+
+} // namespace
+} // namespace dtc
