@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Perf-regression gate CLI: diffs fresh bench/metrics artifacts
+ * against checked-in baselines under bench/baselines/.
+ *
+ *     bench_compare --baseline bench/baselines/BENCH_engine.json \
+ *                   --current  BENCH_engine.json \
+ *                   [--metrics-baseline bench/baselines/METRICS_smoke.json \
+ *                    --metrics-current  METRICS_smoke.json] \
+ *                   [--tolerance 0.25] [--wallclock-advisory]
+ *
+ * Exit codes: 0 = no regressions, 1 = regression (counter mismatch,
+ * missing row, or wall-clock outside tolerance unless
+ * --wallclock-advisory), 2 = usage / IO / parse error.
+ *
+ * Deterministic counters (*_b_round_ops, metrics counters, histogram
+ * sample counts, matrix shape, reps) must match the baseline exactly;
+ * wall-clock fields compare within --tolerance (default ±25% with a
+ * 0.05 ms absolute floor).  CI passes --wallclock-advisory so shared
+ * runners can't fail the gate on timing noise while counter drift
+ * still blocks the merge.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "obs/bench_compare.h"
+#include "obs/json.h"
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --baseline FILE --current FILE\n"
+        "          [--metrics-baseline FILE --metrics-current FILE]\n"
+        "          [--tolerance REL] [--abs-floor-ms MS]\n"
+        "          [--wallclock-advisory]\n",
+        argv0);
+    return 2;
+}
+
+/** Parses @p path or reports and returns false. */
+bool
+load(const std::string& path, dtc::obs::JsonValue* out)
+{
+    try {
+        *out = dtc::obs::json::parseFile(path);
+        return true;
+    } catch (const dtc::DtcError& e) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                     e.what());
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string baseline, current, metrics_baseline, metrics_current;
+    dtc::obs::compare::Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg == "--baseline" && i + 1 < argc)
+            baseline = argv[++i];
+        else if (arg == "--current" && i + 1 < argc)
+            current = argv[++i];
+        else if (arg == "--metrics-baseline" && i + 1 < argc)
+            metrics_baseline = argv[++i];
+        else if (arg == "--metrics-current" && i + 1 < argc)
+            metrics_current = argv[++i];
+        else if (arg == "--tolerance" && i + 1 < argc)
+            opts.tolerance = std::strtod(argv[++i], nullptr);
+        else if (arg == "--abs-floor-ms" && i + 1 < argc)
+            opts.absFloorMs = std::strtod(argv[++i], nullptr);
+        else if (arg == "--wallclock-advisory")
+            opts.wallclockAdvisory = true;
+        else
+            return usage(argv[0]);
+    }
+    if (baseline.empty() || current.empty())
+        return usage(argv[0]);
+    if (metrics_baseline.empty() != metrics_current.empty()) {
+        std::fprintf(stderr,
+                     "bench_compare: --metrics-baseline and "
+                     "--metrics-current go together\n");
+        return 2;
+    }
+
+    dtc::obs::JsonValue base_doc, cur_doc;
+    if (!load(baseline, &base_doc) || !load(current, &cur_doc))
+        return 2;
+
+    dtc::obs::compare::Report report;
+    try {
+        report = dtc::obs::compare::compareEngineBench(base_doc,
+                                                       cur_doc, opts);
+    } catch (const dtc::DtcError& e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return 2;
+    }
+
+    if (!metrics_baseline.empty()) {
+        dtc::obs::JsonValue mbase, mcur;
+        if (!load(metrics_baseline, &mbase) ||
+            !load(metrics_current, &mcur))
+            return 2;
+        try {
+            const dtc::obs::compare::Report mreport =
+                dtc::obs::compare::compareMetrics(mbase, mcur, opts);
+            report.checks += mreport.checks;
+            report.failures.insert(report.failures.end(),
+                                   mreport.failures.begin(),
+                                   mreport.failures.end());
+            report.advisories.insert(report.advisories.end(),
+                                     mreport.advisories.begin(),
+                                     mreport.advisories.end());
+        } catch (const dtc::DtcError& e) {
+            std::fprintf(stderr, "bench_compare: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    std::printf("%s", report.toString().c_str());
+    return report.ok() ? 0 : 1;
+}

@@ -27,8 +27,6 @@ stack(int level)
     return o;
 }
 
-const char* kLevelNames[] = {"Base", "+SMB", "+IP", "+SDB", "+VFD"};
-
 } // namespace
 
 int

@@ -8,7 +8,6 @@
  */
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,11 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "engine/engine.h"
 #include "engine/prepared_dense.h"
+#include "gpusim/cost_model.h"
 #include "kernels/kernel.h"
 #include "kernels/reference.h"
 #include "matrix/dense.h"
@@ -31,8 +32,11 @@
 #include "formats/tcf.h"
 #include "gpusim/l2cache.h"
 #include "gpusim/scheduler.h"
+#include "obs/metrics.h"
 #include "reorder/minhash.h"
+#include "reorder/tca.h"
 #include "selector/selector.h"
+#include "tuner/tuner.h"
 
 namespace dtc {
 namespace {
@@ -205,6 +209,24 @@ BM_MinhashSignatureBatchThreads(benchmark::State& state)
 BENCHMARK(BM_MinhashSignatureBatchThreads)->Arg(1)->Arg(8);
 
 void
+BM_TraceScopeDisarmed(benchmark::State& state)
+{
+    // The cost a DTC_TRACE_SCOPE adds to a hot path while tracing is
+    // off: one relaxed atomic load and a predicted branch per
+    // construction — no clock read, no allocation.  This row backs
+    // the "near-zero overhead when disarmed" claim in README, the
+    // same way BM_FaultPointDisarmed does for fault points.
+    obs::trace::disable();
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            DTC_TRACE_SCOPE("bench.disarmed");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TraceScopeDisarmed);
+
+void
 BM_FaultPointDisarmed(benchmark::State& state)
 {
     // The cost a DTC_FAULT_POINT adds to a hot path while no fault is
@@ -312,21 +334,12 @@ struct SmokeRow
     uint64_t engineBRoundOps; ///< measured: K * N once per cache fill.
 };
 
-template <typename F>
-double
-timedMs(int reps, F&& fn)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < reps; ++i)
-        fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
-
 /**
  * Times @p fn engine-off (after one warm-up call) and engine-on (from
  * a cold PreparedDense cache, so the one-time panel rounding is billed
- * to the engine).
+ * to the engine).  Reads the engine counters as before/after deltas
+ * instead of resetting them, so the cumulative totals survive into
+ * the metrics snapshot this binary writes in --smoke mode.
  */
 template <typename F>
 SmokeRow
@@ -339,14 +352,15 @@ smokeCompare(const char* kernel_name, const CsrMatrix& m, int64_t n,
     {
         engine::ScopedEngineMode mode(false);
         fn(); // warm-up: touch B/C pages once
-        row.offMs = timedMs(reps, fn);
+        row.offMs = bench::timedMs(reps, fn);
     }
     {
         engine::ScopedEngineMode mode(true);
         engine::clearPreparedDenseCache();
-        engine::resetStats();
-        row.onMs = timedMs(reps, fn);
-        row.engineBRoundOps = engine::stats().roundingOps.load();
+        const uint64_t round0 = engine::stats().roundingOps.load();
+        row.onMs = bench::timedMs(reps, fn);
+        row.engineBRoundOps =
+            engine::stats().roundingOps.load() - round0;
     }
     row.legacyBRoundOps = static_cast<uint64_t>(reps) *
                           static_cast<uint64_t>(m.nnz()) *
@@ -394,11 +408,46 @@ validateBenchJson(const std::string& path, size_t expect_rows)
 
 } // namespace
 
+namespace {
+
+/**
+ * Runs each preprocessing phase of the pipeline once over the smoke
+ * matrix so the --smoke trace/metrics cover the full span set
+ * (sgt.condense, metcf.convert, tca.reorder, tuner.tune,
+ * selector.decide) and not only the kernel prepare/compute path.
+ */
+void
+runPipelinePhases(const CsrMatrix& m)
+{
+    DTC_TRACE_SCOPE("smoke.pipeline");
+    const SgtResult sgt = sgtCondense(m);
+    const MeTcfMatrix metcf = MeTcfMatrix::build(m);
+    TcaParams tca_params;
+    tca_params.numHashes = 16; // smoke-sized, still exercises LSH
+    const TcaResult tca = tcaReorder(m, tca_params);
+    const CostModel cm(ArchSpec::rtx4090());
+    TuneRequest req;
+    req.denseWidth = 32;
+    const TuneResult tuned = tuneSpmm(m, req, cm);
+    const SelectorDecision decision =
+        selectKernel(metcf, ArchSpec::rtx4090());
+    std::printf("smoke: pipeline tc_blocks=%lld clusters=%lld "
+                "tuner_best=%s selector_ar=%.3f\n",
+                static_cast<long long>(sgt.numTcBlocks),
+                static_cast<long long>(tca.numClusters),
+                tuned.best().name.c_str(),
+                decision.approximationRatio);
+}
+
+} // namespace
+
 int
-runEngineSmoke(const std::string& out_path)
+runEngineSmoke(const std::string& out_path,
+               const std::string& metrics_path)
 {
     Rng rng(1);
     const CsrMatrix m = genCommunity(4096, 16, 16.0, 0.85, rng);
+    runPipelinePhases(m);
     auto dtc_kernel = makeKernel(KernelKind::Dtc);
     if (!dtc_kernel->prepare(m).empty()) {
         std::fprintf(stderr, "smoke: DTC prepare() refused\n");
@@ -473,6 +522,15 @@ runEngineSmoke(const std::string& out_path)
                         : 0.0);
     }
     std::printf("smoke: wrote %s (validated)\n", out_path.c_str());
+
+    if (!metrics_path.empty()) {
+        if (!obs::metrics::writeJson(metrics_path)) {
+            std::fprintf(stderr, "smoke: cannot write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("smoke: wrote %s\n", metrics_path.c_str());
+    }
     return 0;
 }
 
@@ -483,15 +541,18 @@ main(int argc, char** argv)
 {
     bool smoke = false;
     std::string out = "BENCH_engine.json";
+    std::string metrics_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
         if (arg == "--smoke")
             smoke = true;
         else if (arg == "--out" && i + 1 < argc)
             out = argv[++i];
+        else if (arg == "--metrics-out" && i + 1 < argc)
+            metrics_out = argv[++i];
     }
     if (smoke)
-        return dtc::runEngineSmoke(out);
+        return dtc::runEngineSmoke(out, metrics_out);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -18,7 +18,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "formats/convert_cost.h"
 #include "formats/me_tcf.h"
 #include "reorder/tca.h"
@@ -74,16 +73,12 @@ main(int argc, char** argv)
         const double spmm_ms = dtc.cost(128, cm).timeMs;
 
         double tca_ms = 0.0;
-        if (!args.quick) {
-            Stopwatch sw;
-            tcaReorder(m);
-            tca_ms = sw.elapsedMs();
-        }
+        if (!args.quick)
+            tca_ms = timedMs(1, [&] { tcaReorder(m); });
 
         MeTcfMatrix me = MeTcfMatrix::build(m);
-        Stopwatch sw;
-        selectKernel(me, cm.arch());
-        const double selector_ms = sw.elapsedMs();
+        const double selector_ms =
+            timedMs(1, [&] { selectKernel(me, cm.arch()); });
 
         printRow(widths2,
                  {abbr, args.quick ? "(skipped)" : fmt(tca_ms, 1),

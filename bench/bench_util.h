@@ -17,9 +17,25 @@
 #include "gpusim/cost_model.h"
 #include "kernels/kernel.h"
 #include "matrix/csr.h"
+#include "obs/trace.h"
 
 namespace dtc {
 namespace bench {
+
+/**
+ * Wall-clock of @p reps calls of @p fn in milliseconds, on the
+ * observability clock (obs::monotonicNowUs) — the one shared timing
+ * helper for the bench binaries, replacing per-binary chrono code.
+ */
+template <typename F>
+double
+timedMs(int reps, F&& fn)
+{
+    const double t0 = obs::monotonicNowUs();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    return (obs::monotonicNowUs() - t0) / 1e3;
+}
 
 /** Parses shared CLI flags (--quick, --collection=N). */
 struct BenchArgs

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 namespace fault {
@@ -108,6 +109,11 @@ hitSlow(const char* site)
         parseEnvLocked();
         if (gState.load(std::memory_order_relaxed) == 0)
             return;
+        // While the subsystem is active, fault-site traversals are
+        // tallied in the metrics registry (disarmed fault points
+        // still cost nothing).
+        obs::metrics::counter(std::string("fault.hits.") + site)
+            .add(1);
         auto it = registry().find(site);
         if (it == registry().end())
             return;

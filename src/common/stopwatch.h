@@ -1,17 +1,20 @@
 /**
  * @file
- * Wall-clock stopwatch for host-side overhead measurements.
+ * Wall-clock stopwatch — a thin shim over the observability clock
+ * (obs/trace.h).  Kept for source compatibility; new code should use
+ * obs::ScopedTimerMs (metrics histogram) or DTC_TRACE_SCOPE (trace
+ * span) so host-side timings land in the machine-readable snapshots
+ * instead of ad-hoc locals.
  *
- * Performance *results* in this repository come from the deterministic
- * GPU cost model (see gpusim/), not wall clocks.  The stopwatch exists
- * for the host-side overhead study (Section 6 of the paper: format
- * conversion, reordering and Selector preprocessing cost) and the
- * google-benchmark microbenchmarks.
+ * Performance *results* in this repository come from the
+ * deterministic GPU cost model (see gpusim/), not wall clocks; wall
+ * time only appears in the Section-6 overhead study and the
+ * microbenchmarks.
  */
 #ifndef DTC_COMMON_STOPWATCH_H
 #define DTC_COMMON_STOPWATCH_H
 
-#include <chrono>
+#include "obs/trace.h"
 
 namespace dtc {
 
@@ -23,16 +26,22 @@ class Stopwatch
     Stopwatch() { reset(); }
 
     /** Restarts timing from now. */
-    void reset();
+    void reset() { startUs = obs::monotonicNowUs(); }
 
     /** Returns seconds elapsed since construction or the last reset. */
-    double elapsedSeconds() const;
+    double elapsedSeconds() const
+    {
+        return (obs::monotonicNowUs() - startUs) / 1e6;
+    }
 
     /** Returns milliseconds elapsed since construction or last reset. */
-    double elapsedMs() const { return elapsedSeconds() * 1e3; }
+    double elapsedMs() const
+    {
+        return (obs::monotonicNowUs() - startUs) / 1e3;
+    }
 
   private:
-    std::chrono::steady_clock::time_point start;
+    double startUs = 0;
 };
 
 } // namespace dtc

@@ -41,7 +41,11 @@ panelCols(int64_t n)
 Stats&
 stats()
 {
-    static Stats s;
+    static Stats s{
+        obs::metrics::counter("engine.b_round_ops"),
+        obs::metrics::counter("engine.panel_hits"),
+        obs::metrics::counter("engine.panel_misses"),
+    };
     return s;
 }
 

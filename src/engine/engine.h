@@ -35,8 +35,9 @@
 #ifndef DTC_ENGINE_ENGINE_H
 #define DTC_ENGINE_ENGINE_H
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace dtc {
 namespace engine {
@@ -80,17 +81,23 @@ constexpr int64_t kPanelCols = 256;
 constexpr int64_t kJBlock = 8;
 
 /**
- * Process-wide engine counters (relaxed atomics; reset via
- * resetStats()).  roundingOps is the measurable form of the
- * O(nnz*N) -> O(K*N) B-rounding reduction: PreparedDense bumps it by
- * rows*cols once per cache miss, while the scalar paths would have
- * performed nnz*N roundings per compute() call.
+ * Process-wide engine counters, backed by the observability metrics
+ * registry (obs/metrics.h) under the names "engine.b_round_ops",
+ * "engine.panel_hits" and "engine.panel_misses" — so they appear in
+ * metrics::toJson() snapshots and bench_compare gates on them.
+ * obs::Counter mimics std::atomic<uint64_t> (load / store /
+ * fetch_add), so call sites are unchanged; resetStats() zeroes them.
+ *
+ * roundingOps is the measurable form of the O(nnz*N) -> O(K*N)
+ * B-rounding reduction: PreparedDense bumps it by rows*cols once per
+ * cache miss, while the scalar paths would have performed nnz*N
+ * roundings per compute() call.
  */
 struct Stats
 {
-    std::atomic<uint64_t> roundingOps{0};  ///< B elements rounded.
-    std::atomic<uint64_t> panelHits{0};    ///< PreparedDense cache hits.
-    std::atomic<uint64_t> panelMisses{0};  ///< PreparedDense cache misses.
+    obs::Counter& roundingOps;  ///< B elements rounded.
+    obs::Counter& panelHits;    ///< PreparedDense cache hits.
+    obs::Counter& panelMisses;  ///< PreparedDense cache misses.
 };
 
 Stats& stats();

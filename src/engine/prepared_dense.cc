@@ -95,6 +95,7 @@ PreparedDense::PreparedDense(const DenseMatrix& b, Precision p)
         return;
     }
 
+    DTC_TRACE_SCOPE("engine.prepare_dense");
     const uint64_t hash = contentHash(b);
     {
         std::lock_guard<std::mutex> lock(cacheMu);
@@ -140,6 +141,8 @@ PreparedDense::PreparedDense(const DenseMatrix& b, Precision p)
     }
     cache.push_back({b.data(), nRows, nCols, p, hash, ++cacheTick,
                      owned});
+    obs::metrics::gauge("engine.panel_cache_entries")
+        .set(static_cast<double>(cache.size()));
 }
 
 void

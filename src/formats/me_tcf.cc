@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "matrix/coo.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -23,6 +24,11 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
     DTC_CHECK_MSG(shape.windowHeight * shape.blockWidth <= 256,
                   "TC block too large for 8-bit local ids");
     DTC_FAULT_POINT("me_tcf.convert");
+    DTC_TRACE_SCOPE("metcf.convert");
+    obs::ScopedTimerMs timer("metcf.convert_ms");
+    static obs::Counter& builds =
+        obs::metrics::counter("metcf.builds");
+    builds.add(1);
     SgtResult sgt = sgtCondense(m, shape);
 
     MeTcfMatrix t;

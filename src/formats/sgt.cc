@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -19,6 +20,8 @@ SgtResult
 sgtCondense(const CsrMatrix& m, TcBlockShape shape)
 {
     DTC_CHECK(shape.windowHeight > 0 && shape.blockWidth > 0);
+    DTC_TRACE_SCOPE("sgt.condense");
+    obs::ScopedTimerMs timer("sgt.condense_ms");
 
     SgtResult res;
     res.rows = m.rows();
@@ -92,6 +95,12 @@ sgtCondense(const CsrMatrix& m, TcBlockShape shape)
                         ? static_cast<double>(res.nnz) /
                               static_cast<double>(res.numTcBlocks)
                         : 0.0;
+    static obs::Counter& calls =
+        obs::metrics::counter("sgt.condense_calls");
+    static obs::Counter& blocks =
+        obs::metrics::counter("sgt.tc_blocks");
+    calls.add(1);
+    blocks.add(static_cast<uint64_t>(res.numTcBlocks));
     return res;
 }
 

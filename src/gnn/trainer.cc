@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/rng.h"
 #include "gnn/dense_ops.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -98,10 +99,18 @@ TrainStats
 GcnModel::train(const DenseMatrix& x,
                 const std::vector<int32_t>& labels)
 {
+    DTC_TRACE_SCOPE("gnn.train");
+    obs::ScopedTimerMs train_timer("gnn.train_ms");
+    static obs::Counter& epochs =
+        obs::metrics::counter("gnn.epochs");
+    static obs::Counter& fallbacks =
+        obs::metrics::counter("gnn.fallbacks");
     TrainStats stats;
     stats.loss.reserve(static_cast<size_t>(config.epochs));
     stats.accuracy.reserve(static_cast<size_t>(config.epochs));
     for (int e = 0; e < config.epochs; ++e) {
+        DTC_TRACE_SCOPE("gnn.epoch");
+        epochs.add(1);
         double acc = 0.0;
         double loss = 0.0;
         if (!resilient) {
@@ -140,12 +149,18 @@ GcnModel::train(const DenseMatrix& x,
                               << errorCodeName(ev.code) << ": "
                               << ev.reason << "); re-tuned onto "
                               << ev.toKernel << "\n";
+                    fallbacks.add(1);
                     stats.fallbacks.push_back(std::move(ev));
                 }
             }
         }
         stats.loss.push_back(loss);
         stats.accuracy.push_back(acc);
+    }
+    if (!stats.loss.empty()) {
+        obs::metrics::gauge("gnn.final_loss").set(stats.loss.back());
+        obs::metrics::gauge("gnn.final_accuracy")
+            .set(stats.accuracy.back());
     }
     return stats;
 }

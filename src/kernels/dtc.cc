@@ -9,6 +9,7 @@
 #include "engine/engine.h"
 #include "engine/prepared_dense.h"
 #include "kernels/b_traffic.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -50,6 +51,11 @@ DtcKernel::DtcKernel(DtcOptions options) : opts(options)
 Refusal
 DtcKernel::prepare(const CsrMatrix& a)
 {
+    DTC_TRACE_SCOPE("dtc.prepare");
+    obs::ScopedTimerMs timer("dtc.prepare_ms");
+    static obs::Counter& prepares =
+        obs::metrics::counter("dtc.prepares");
+    prepares.add(1);
     if (opts.precision == Precision::Fp32) {
         return Refusal::refuse(ErrorCode::Unsupported,
                                "FP32 is not a tensor-core precision");
@@ -123,6 +129,10 @@ DtcKernel::buildLanes()
 void
 DtcKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
 {
+    DTC_TRACE_SCOPE("dtc.compute");
+    static obs::Counter& computes =
+        obs::metrics::counter("dtc.computes");
+    computes.add(1);
     DTC_CHECK(ready);
     DTC_CHECK(format.cols() == b.rows());
     DTC_CHECK(c.rows() == format.rows() && c.cols() == b.cols());

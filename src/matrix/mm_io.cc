@@ -10,6 +10,7 @@
 #include "common/budget.h"
 #include "common/check.h"
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -51,6 +52,11 @@ CooMatrix
 readMatrixMarket(std::istream& in)
 {
     DTC_FAULT_POINT("mm_io.read");
+    DTC_TRACE_SCOPE("mm_io.read");
+    obs::ScopedTimerMs timer("mm_io.read_ms");
+    static obs::Counter& reads =
+        obs::metrics::counter("mm_io.reads");
+    reads.add(1);
     std::string line;
     if (!std::getline(in, line))
         raiseMm("empty Matrix Market stream");
@@ -133,6 +139,9 @@ readMatrixMarket(std::istream& in)
         }
     }
     m.canonicalize();
+    static obs::Counter& entries_read =
+        obs::metrics::counter("mm_io.entries");
+    entries_read.add(static_cast<uint64_t>(m.nnz()));
     return m;
 }
 

@@ -1,0 +1,207 @@
+#include "obs/bench_compare.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dtc {
+namespace obs {
+namespace compare {
+
+namespace {
+
+std::string
+fmtNum(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+void
+checkSchema(const JsonValue& doc, const char* expect, Report* rep)
+{
+    rep->checks++;
+    if (!doc.has("schema") || !doc.at("schema").isString() ||
+        doc.at("schema").asString() != expect) {
+        rep->failures.push_back(std::string("schema is not \"") +
+                                expect + "\"");
+    }
+}
+
+void
+checkExact(const std::string& what, double base, double cur,
+           Report* rep)
+{
+    rep->checks++;
+    if (base != cur) {
+        rep->failures.push_back(what + ": expected " + fmtNum(base) +
+                                ", got " + fmtNum(cur) +
+                                " (exact-match metric)");
+    }
+}
+
+void
+checkWallclock(const std::string& what, double base, double cur,
+               const Options& opts, Report* rep)
+{
+    rep->checks++;
+    const double diff = std::fabs(cur - base);
+    const double allowed =
+        std::max(opts.tolerance * std::fabs(base), opts.absFloorMs);
+    if (diff <= allowed)
+        return;
+    std::ostringstream os;
+    os << what << ": " << fmtNum(base) << " -> " << fmtNum(cur)
+       << " (" << fmtNum(diff) << " off, tolerance "
+       << fmtNum(allowed) << ")";
+    if (opts.wallclockAdvisory)
+        rep->advisories.push_back(os.str() + " [advisory]");
+    else
+        rep->failures.push_back(os.str());
+}
+
+} // namespace
+
+std::string
+Report::toString() const
+{
+    std::ostringstream os;
+    os << checks << " checks, " << failures.size() << " failures, "
+       << advisories.size() << " advisories\n";
+    for (const std::string& f : failures)
+        os << "  FAIL " << f << "\n";
+    for (const std::string& a : advisories)
+        os << "  note " << a << "\n";
+    return os.str();
+}
+
+Report
+compareEngineBench(const JsonValue& baseline, const JsonValue& current,
+                   const Options& opts)
+{
+    Report rep;
+    checkSchema(baseline, "dtc-bench-engine-v1", &rep);
+    checkSchema(current, "dtc-bench-engine-v1", &rep);
+    if (!rep.ok())
+        return rep;
+
+    for (const char* key : {"rows", "cols", "nnz"}) {
+        checkExact(std::string("matrix.") + key,
+                   baseline.at("matrix").at(key).asNumber(),
+                   current.at("matrix").at(key).asNumber(), &rep);
+    }
+    checkExact("reps", baseline.at("reps").asNumber(),
+               current.at("reps").asNumber(), &rep);
+
+    auto rowKey = [](const JsonValue& row) {
+        return row.at("kernel").asString() + " n=" +
+               fmtNum(row.at("n").asNumber());
+    };
+
+    const auto& base_rows = baseline.at("results").asArray();
+    const auto& cur_rows = current.at("results").asArray();
+    for (const JsonValue& brow : base_rows) {
+        const std::string key = rowKey(brow);
+        const JsonValue* crow = nullptr;
+        for (const JsonValue& c : cur_rows) {
+            if (rowKey(c) == key) {
+                crow = &c;
+                break;
+            }
+        }
+        rep.checks++;
+        if (crow == nullptr) {
+            rep.failures.push_back("result row missing: " + key);
+            continue;
+        }
+        for (const char* counter :
+             {"legacy_b_round_ops", "engine_b_round_ops"}) {
+            checkExact(key + " " + counter,
+                       brow.at(counter).asNumber(),
+                       crow->at(counter).asNumber(), &rep);
+        }
+        for (const char* wall : {"engine_off_ms", "engine_on_ms"}) {
+            checkWallclock(key + " " + wall,
+                           brow.at(wall).asNumber(),
+                           crow->at(wall).asNumber(), opts, &rep);
+        }
+    }
+    for (const JsonValue& crow : cur_rows) {
+        const std::string key = rowKey(crow);
+        bool known = false;
+        for (const JsonValue& brow : base_rows)
+            if (rowKey(brow) == key)
+                known = true;
+        if (!known)
+            rep.advisories.push_back(
+                "new result row (not in baseline): " + key);
+    }
+    return rep;
+}
+
+Report
+compareMetrics(const JsonValue& baseline, const JsonValue& current,
+               const Options& opts)
+{
+    Report rep;
+    checkSchema(baseline, "dtc-metrics-v1", &rep);
+    checkSchema(current, "dtc-metrics-v1", &rep);
+    if (!rep.ok())
+        return rep;
+
+    for (const auto& [name, bval] :
+         baseline.at("counters").asObject()) {
+        rep.checks++;
+        if (!current.at("counters").has(name)) {
+            rep.failures.push_back("counter missing: " + name);
+            continue;
+        }
+        checkExact("counter " + name, bval.asNumber(),
+                   current.at("counters").at(name).asNumber(), &rep);
+    }
+    for (const auto& [name, cval] :
+         current.at("counters").asObject()) {
+        if (!baseline.at("counters").has(name))
+            rep.advisories.push_back(
+                "new counter (not in baseline): " + name + " = " +
+                fmtNum(cval.asNumber()));
+    }
+
+    for (const auto& [name, bval] :
+         baseline.at("gauges").asObject()) {
+        rep.checks++;
+        if (!current.at("gauges").has(name)) {
+            rep.failures.push_back("gauge missing: " + name);
+            continue;
+        }
+        checkWallclock("gauge " + name, bval.asNumber(),
+                       current.at("gauges").at(name).asNumber(),
+                       opts, &rep);
+    }
+
+    for (const auto& [name, bhist] :
+         baseline.at("histograms").asObject()) {
+        rep.checks++;
+        if (!current.at("histograms").has(name)) {
+            rep.failures.push_back("histogram missing: " + name);
+            continue;
+        }
+        const JsonValue& chist =
+            current.at("histograms").at(name);
+        // Sample counts are work counts: exact.  The statistics are
+        // wall-clock.
+        checkExact("histogram " + name + " count",
+                   bhist.at("count").asNumber(),
+                   chist.at("count").asNumber(), &rep);
+        for (const char* stat : {"sum", "min", "max", "p50", "p95"}) {
+            checkWallclock("histogram " + name + " " + stat,
+                           bhist.at(stat).asNumber(),
+                           chist.at(stat).asNumber(), opts, &rep);
+        }
+    }
+    return rep;
+}
+
+} // namespace compare
+} // namespace obs
+} // namespace dtc

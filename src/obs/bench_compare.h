@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Baseline comparison for the repo's machine-readable perf
+ * artifacts — the regression gate behind the `bench_compare` CLI and
+ * the CI perf-smoke job.
+ *
+ * Two artifact kinds are understood:
+ *   - "dtc-bench-engine-v1": bench_micro_host --smoke output
+ *     (BENCH_engine.json).  Rows are matched by (kernel, n);
+ *     deterministic counters (*_b_round_ops, matrix shape, reps)
+ *     must match exactly, wall-clock fields (*_ms) compare within a
+ *     relative tolerance.
+ *   - "dtc-metrics-v1": metrics::toJson() snapshots.  Counters are
+ *     exact (they count work, not time); histogram sample counts are
+ *     exact; histogram statistics and gauges are wall-clock class.
+ *
+ * Wall-clock checks can be downgraded to advisories (annotate, don't
+ * fail) for noisy single-core CI runners; counter mismatches always
+ * fail.  The derived "speedup" field is ignored — it is the ratio of
+ * two independently-tolerated times.
+ */
+#ifndef DTC_OBS_BENCH_COMPARE_H
+#define DTC_OBS_BENCH_COMPARE_H
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dtc {
+namespace obs {
+namespace compare {
+
+struct Options
+{
+    /** Relative tolerance for wall-clock fields (0.25 = ±25%). */
+    double tolerance = 0.25;
+
+    /**
+     * Absolute slack (ms) under which wall-clock diffs never count:
+     * sub-floor phases are pure timer noise.
+     */
+    double absFloorMs = 0.05;
+
+    /** Wall-clock violations annotate instead of failing. */
+    bool wallclockAdvisory = false;
+};
+
+struct Report
+{
+    int checks = 0; ///< Individual comparisons performed.
+    std::vector<std::string> failures;   ///< Gate-breaking.
+    std::vector<std::string> advisories; ///< Informational only.
+
+    bool ok() const { return failures.empty(); }
+
+    /** Human-readable multi-line summary. */
+    std::string toString() const;
+};
+
+/** Compares two "dtc-bench-engine-v1" documents. */
+Report compareEngineBench(const JsonValue& baseline,
+                          const JsonValue& current,
+                          const Options& opts);
+
+/** Compares two "dtc-metrics-v1" documents. */
+Report compareMetrics(const JsonValue& baseline,
+                      const JsonValue& current, const Options& opts);
+
+} // namespace compare
+} // namespace obs
+} // namespace dtc
+
+#endif // DTC_OBS_BENCH_COMPARE_H

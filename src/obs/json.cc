@@ -1,0 +1,380 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+namespace dtc {
+namespace obs {
+
+namespace {
+
+[[noreturn]] void
+raiseJson(const std::string& msg, int64_t offset = -1)
+{
+    throw DtcError(ErrorCode::InvalidInput, "json: " + msg,
+                   ErrorContext{.component = "json",
+                                .byteOffset = offset});
+}
+
+void
+requireKind(JsonValue::Kind want, JsonValue::Kind got,
+            const char* what)
+{
+    if (want != got)
+        raiseJson(std::string("value is not a ") + what);
+}
+
+/** Recursive-descent parser over a complete in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : s(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            raiseJson("trailing characters after document",
+                      static_cast<int64_t>(pos));
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            raiseJson("unexpected end of input",
+                      static_cast<int64_t>(pos));
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            raiseJson(std::string("expected '") + c + "', got '" +
+                          s[pos] + "'",
+                      static_cast<int64_t>(pos));
+        pos++;
+    }
+
+    bool
+    consumeLiteral(const char* lit)
+    {
+        const size_t len = std::char_traits<char>::length(lit);
+        if (s.compare(pos, len, lit) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue::makeString(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::makeBool(true);
+            raiseJson("bad literal", static_cast<int64_t>(pos));
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::makeBool(false);
+            raiseJson("bad literal", static_cast<int64_t>(pos));
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue::makeNull();
+            raiseJson("bad literal", static_cast<int64_t>(pos));
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        std::map<std::string, JsonValue> members;
+        skipWs();
+        if (peek() == '}') {
+            pos++;
+            return JsonValue::makeObject(std::move(members));
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            members.insert_or_assign(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect('}');
+            return JsonValue::makeObject(std::move(members));
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (peek() == ']') {
+            pos++;
+            return JsonValue::makeArray(std::move(items));
+        }
+        for (;;) {
+            items.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                pos++;
+                continue;
+            }
+            expect(']');
+            return JsonValue::makeArray(std::move(items));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= s.size())
+                raiseJson("unterminated string",
+                          static_cast<int64_t>(pos));
+            const char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= s.size())
+                raiseJson("unterminated escape",
+                          static_cast<int64_t>(pos));
+            const char e = s[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    raiseJson("truncated \\u escape",
+                              static_cast<int64_t>(pos));
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        raiseJson("bad \\u escape",
+                                  static_cast<int64_t>(pos));
+                }
+                // Metrics/bench names are ASCII; reject the rest
+                // rather than mis-encode it.
+                if (code > 0x7f)
+                    raiseJson("non-ASCII \\u escape unsupported",
+                              static_cast<int64_t>(pos));
+                out.push_back(static_cast<char>(code));
+                break;
+              }
+              default:
+                raiseJson("bad escape character",
+                          static_cast<int64_t>(pos));
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            pos++;
+        if (pos == start)
+            raiseJson("expected a value",
+                      static_cast<int64_t>(start));
+        const std::string tok = s.substr(start, pos - start);
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            raiseJson("malformed number: " + tok,
+                      static_cast<int64_t>(start));
+        return JsonValue::makeNumber(v);
+    }
+
+    const std::string& s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    requireKind(Kind::Bool, k, "bool");
+    return b;
+}
+
+double
+JsonValue::asNumber() const
+{
+    requireKind(Kind::Number, k, "number");
+    return num;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    requireKind(Kind::String, k, "string");
+    return str;
+}
+
+const std::vector<JsonValue>&
+JsonValue::asArray() const
+{
+    requireKind(Kind::Array, k, "array");
+    return arr;
+}
+
+const std::map<std::string, JsonValue>&
+JsonValue::asObject() const
+{
+    requireKind(Kind::Object, k, "object");
+    return obj;
+}
+
+bool
+JsonValue::has(const std::string& key) const
+{
+    return k == Kind::Object && obj.find(key) != obj.end();
+}
+
+const JsonValue&
+JsonValue::at(const std::string& key) const
+{
+    requireKind(Kind::Object, k, "object");
+    auto it = obj.find(key);
+    if (it == obj.end())
+        raiseJson("missing object member: " + key);
+    return it->second;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.k = Kind::Bool;
+    v.b = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.k = Kind::Number;
+    v.num = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.k = Kind::String;
+    v.str = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> a)
+{
+    JsonValue v;
+    v.k = Kind::Array;
+    v.arr = std::move(a);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> o)
+{
+    JsonValue v;
+    v.k = Kind::Object;
+    v.obj = std::move(o);
+    return v;
+}
+
+namespace json {
+
+JsonValue
+parse(const std::string& text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+JsonValue
+parseFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw DtcError(ErrorCode::InvalidInput,
+                       "json: cannot open " + path,
+                       ErrorContext{.component = "json"});
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    return parse(text);
+}
+
+} // namespace json
+} // namespace obs
+} // namespace dtc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON reader for the repo's machine-readable artifacts
+ * (BENCH_*.json from the smoke bench, dtc-metrics-v1 snapshots).
+ * Full JSON value model, recursive-descent parser, typed DtcError on
+ * malformed input — no third-party dependency.
+ *
+ * This is a *reader* for trusted, self-produced files: it accepts
+ * standard JSON (objects, arrays, strings with the common escapes,
+ * numbers, true/false/null) and rejects everything else with
+ * ErrorCode::InvalidInput.
+ */
+#ifndef DTC_OBS_JSON_H
+#define DTC_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dtc {
+namespace obs {
+
+/** A parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return k; }
+    bool isNull() const { return k == Kind::Null; }
+    bool isBool() const { return k == Kind::Bool; }
+    bool isNumber() const { return k == Kind::Number; }
+    bool isString() const { return k == Kind::String; }
+    bool isArray() const { return k == Kind::Array; }
+    bool isObject() const { return k == Kind::Object; }
+
+    /** Value accessors; DtcError(InvalidInput) on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string& asString() const;
+    const std::vector<JsonValue>& asArray() const;
+    const std::map<std::string, JsonValue>& asObject() const;
+
+    /** True when this is an object with member @p key. */
+    bool has(const std::string& key) const;
+
+    /** Object member; DtcError(InvalidInput) when absent. */
+    const JsonValue& at(const std::string& key) const;
+
+    // Construction (used by the parser; handy in tests).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> a);
+    static JsonValue makeObject(std::map<std::string, JsonValue> o);
+
+  private:
+    Kind k = Kind::Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+};
+
+namespace json {
+
+/**
+ * Parses one complete JSON document; trailing non-whitespace is an
+ * error.  Throws DtcError(ErrorCode::InvalidInput) with a position
+ * on malformed input.
+ */
+JsonValue parse(const std::string& text);
+
+/** parse() over a whole file; DtcError when the file cannot open. */
+JsonValue parseFile(const std::string& path);
+
+} // namespace json
+} // namespace obs
+} // namespace dtc
+
+#endif // DTC_OBS_JSON_H

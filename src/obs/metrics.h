@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges and
+ * histograms, dumped as a stable machine-readable JSON snapshot
+ * (schema "dtc-metrics-v1", see toJson()).
+ *
+ * This registry absorbs the ad-hoc counters that used to be
+ * scattered around the library: engine::Stats (B-rounding and panel
+ * cache counts) is now a view over registry counters, the GCN
+ * trainer's fallback events, the tuner's refusal tallies and armed
+ * fault-site hits all land here too.
+ *
+ * Usage pattern in hot-ish code — resolve the registry entry once:
+ *
+ *     static obs::Counter& c = obs::metrics::counter("dtc.computes");
+ *     c.add(1);
+ *
+ * Registry entries are never destroyed, so references stay valid for
+ * the life of the process; metrics::reset() zeroes values in place.
+ * Counter deliberately mimics std::atomic<uint64_t>'s load / store /
+ * fetch_add so existing atomic call sites keep compiling.
+ *
+ * Determinism: counters count *work* (elements rounded, candidates
+ * evaluated, fallbacks taken), never time, so their values are
+ * identical across runs, thread counts and build types — which is
+ * what lets bench_compare gate on them exactly.  Histograms hold
+ * wall-clock samples; only their sample *count* is deterministic.
+ */
+#ifndef DTC_OBS_METRICS_H
+#define DTC_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dtc {
+namespace obs {
+
+/** Monotonic event count (atomic; relaxed everywhere). */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1)
+    {
+        v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    // std::atomic<uint64_t>-compatible surface (engine::Stats).
+    uint64_t
+    fetch_add(uint64_t n,
+              std::memory_order = std::memory_order_relaxed)
+    {
+        return v.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t
+    load(std::memory_order = std::memory_order_relaxed) const
+    {
+        return v.load(std::memory_order_relaxed);
+    }
+    void
+    store(uint64_t n,
+          std::memory_order = std::memory_order_relaxed)
+    {
+        v.store(n, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> v{0};
+};
+
+/** Last-write-wins scalar (atomic double bits). */
+class Gauge
+{
+  public:
+    void set(double value);
+    double value() const;
+
+  private:
+    std::atomic<int64_t> bits{0};
+};
+
+/**
+ * Wall-clock-style sample distribution with nearest-rank quantiles.
+ * count / sum / min / max are exact over every sample; quantiles are
+ * computed from the first kMaxSamples samples (deterministic, bounded
+ * memory — benchmark loops can record millions of samples).
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kMaxSamples = 4096;
+
+    void record(double sample);
+
+    int64_t count() const;
+    double sum() const;
+    double min() const;
+    double max() const;
+    /** Nearest-rank quantile, q in [0, 1]; 0 when empty. */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mu;
+    std::vector<double> samples; ///< First kMaxSamples only.
+    int64_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+namespace metrics {
+
+/** The counter registered under @p name (created on first use). */
+Counter& counter(const std::string& name);
+
+/** The gauge registered under @p name (created on first use). */
+Gauge& gauge(const std::string& name);
+
+/** The histogram registered under @p name (created on first use). */
+Histogram& histogram(const std::string& name);
+
+/** Value of a counter, 0 when it was never registered. */
+uint64_t counterValue(const std::string& name);
+
+/**
+ * JSON snapshot, schema "dtc-metrics-v1":
+ *
+ *     {
+ *       "schema": "dtc-metrics-v1",
+ *       "counters":   {"name": <uint>, ...},
+ *       "gauges":     {"name": <double>, ...},
+ *       "histograms": {"name": {"count": <int>, "sum": <double>,
+ *                               "min": <double>, "max": <double>,
+ *                               "p50": <double>, "p95": <double>},
+ *                      ...}
+ *     }
+ *
+ * Keys are sorted, so snapshots of identical state are identical
+ * text.  bench_compare consumes this format.
+ */
+std::string toJson();
+
+/** Writes toJson() to @p path; false when the file cannot open. */
+bool writeJson(const std::string& path);
+
+/**
+ * Zeroes every counter/gauge and empties every histogram *in place*
+ * — registry entries are never destroyed, so references obtained
+ * before reset() stay valid.
+ */
+void reset();
+
+} // namespace metrics
+
+/**
+ * RAII phase timer: records elapsed milliseconds into the named
+ * histogram at scope exit.  Pair with DTC_TRACE_SCOPE for phases
+ * that should show up both in traces and in metrics snapshots.
+ * The name must outlive the scope (use a string literal).
+ */
+class ScopedTimerMs
+{
+  public:
+    explicit ScopedTimerMs(const char* histogram_name)
+        : name(histogram_name), t0(monotonicNowUs())
+    {
+    }
+    ~ScopedTimerMs()
+    {
+        metrics::histogram(name).record(
+            (monotonicNowUs() - t0) / 1e3);
+    }
+
+    ScopedTimerMs(const ScopedTimerMs&) = delete;
+    ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+  private:
+    const char* name;
+    double t0;
+};
+
+} // namespace obs
+} // namespace dtc
+
+#endif // DTC_OBS_METRICS_H

@@ -1,0 +1,244 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace dtc {
+namespace obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/** Forces the epoch before main() so timestamps are process-wide. */
+const bool gEpochInit = (processEpoch(), true);
+
+} // namespace
+
+double
+monotonicNowUs()
+{
+    (void)gEpochInit;
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - processEpoch())
+        .count();
+}
+
+namespace trace {
+namespace detail {
+
+std::atomic<int> gState{2}; // env not yet parsed
+
+namespace {
+
+/**
+ * Per-thread span buffer.  The owning thread appends under buf.mu
+ * (uncontended except while a snapshot/writeJson drains it); depth
+ * is only ever touched by the owner.
+ */
+struct ThreadBuf
+{
+    std::mutex mu;
+    std::vector<SpanRecord> spans;
+    int tid = 0;
+    int depth = 0;
+};
+
+std::mutex gRegistryMu;
+std::vector<std::unique_ptr<ThreadBuf>>&
+registry()
+{
+    static auto* r = new std::vector<std::unique_ptr<ThreadBuf>>();
+    return *r;
+}
+
+std::string gEnvOutPath; ///< Set once under gRegistryMu.
+
+ThreadBuf&
+threadBuf()
+{
+    thread_local ThreadBuf* buf = [] {
+        auto owned = std::make_unique<ThreadBuf>();
+        ThreadBuf* p = owned.get();
+        std::lock_guard<std::mutex> lk(gRegistryMu);
+        p->tid = static_cast<int>(registry().size());
+        registry().push_back(std::move(owned));
+        return p;
+    }();
+    return *buf;
+}
+
+void
+writeEnvOutputAtExit()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(gRegistryMu);
+        path = gEnvOutPath;
+    }
+    if (!path.empty() && !writeJson(path))
+        std::fprintf(stderr, "[dtc] trace: cannot write %s\n",
+                     path.c_str());
+}
+
+/** Parses DTC_TRACE once; caller holds gRegistryMu. */
+void
+parseEnvLocked()
+{
+    if (gState.load(std::memory_order_relaxed) != 2)
+        return;
+    const char* env = std::getenv("DTC_TRACE");
+    if (env == nullptr || *env == '\0') {
+        gState.store(0, std::memory_order_relaxed);
+        return;
+    }
+    gEnvOutPath = env;
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        std::atexit(writeEnvOutputAtExit);
+    }
+    gState.store(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+int64_t
+threadBufferCount()
+{
+    std::lock_guard<std::mutex> lk(gRegistryMu);
+    return static_cast<int64_t>(registry().size());
+}
+
+void
+beginSlow(const char* name, void** cookie, double* t0)
+{
+    (void)name;
+    if (gState.load(std::memory_order_relaxed) == 2) {
+        std::lock_guard<std::mutex> lk(gRegistryMu);
+        parseEnvLocked();
+    }
+    if (gState.load(std::memory_order_relaxed) == 0)
+        return; // leave *cookie null: destructor records nothing
+    ThreadBuf& buf = threadBuf();
+    buf.depth++;
+    *cookie = &buf;
+    *t0 = monotonicNowUs();
+}
+
+void
+endSlow(void* cookie, const char* name, double t0)
+{
+    const double now = monotonicNowUs();
+    auto* buf = static_cast<ThreadBuf*>(cookie);
+    buf->depth--;
+    SpanRecord rec;
+    rec.name = name;
+    rec.tsUs = t0;
+    rec.durUs = now - t0;
+    rec.tid = buf->tid;
+    rec.depth = buf->depth;
+    std::lock_guard<std::mutex> lk(buf->mu);
+    buf->spans.push_back(std::move(rec));
+}
+
+} // namespace detail
+
+void
+enable()
+{
+    std::lock_guard<std::mutex> lk(detail::gRegistryMu);
+    detail::gState.store(1, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    std::lock_guard<std::mutex> lk(detail::gRegistryMu);
+    detail::gState.store(0, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return detail::gState.load(std::memory_order_relaxed) == 1;
+}
+
+void
+clear()
+{
+    std::lock_guard<std::mutex> lk(detail::gRegistryMu);
+    for (auto& buf : detail::registry()) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        buf->spans.clear();
+    }
+}
+
+std::vector<SpanRecord>
+snapshot()
+{
+    std::vector<SpanRecord> out;
+    {
+        std::lock_guard<std::mutex> lk(detail::gRegistryMu);
+        for (auto& buf : detail::registry()) {
+            std::lock_guard<std::mutex> blk(buf->mu);
+            out.insert(out.end(), buf->spans.begin(),
+                       buf->spans.end());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.tsUs < b.tsUs;
+              });
+    return out;
+}
+
+bool
+writeJson(const std::string& path)
+{
+    const std::vector<SpanRecord> spans = snapshot();
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"displayTimeUnit\": \"ms\",\n"
+        << "  \"traceEvents\": [\n";
+    char buf[512];
+    for (size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord& s = spans[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"cat\": \"dtc\", "
+                      "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                      "\"pid\": 1, \"tid\": %d, "
+                      "\"args\": {\"depth\": %d}}%s\n",
+                      s.name.c_str(), s.tsUs, s.durUs, s.tid,
+                      s.depth, i + 1 < spans.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    return out.good();
+}
+
+void
+reloadFromEnv()
+{
+    clear();
+    std::lock_guard<std::mutex> lk(detail::gRegistryMu);
+    detail::gState.store(2, std::memory_order_relaxed);
+    detail::parseEnvLocked();
+}
+
+} // namespace trace
+} // namespace obs
+} // namespace dtc

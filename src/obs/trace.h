@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lightweight tracing: RAII spans over the pipeline phases the paper
+ * costs out in Section 6 (condensation, conversion, reordering,
+ * selector decision, kernel time).
+ *
+ * Code marks a phase with DTC_TRACE_SCOPE("sgt.condense"); a disarmed
+ * span costs one relaxed atomic load and a predicted branch — the
+ * same pattern as DTC_FAULT_POINT (common/fault.h), backed by the
+ * BM_TraceScopeDisarmed row in bench_micro_host.  Armed —
+ * programmatically via trace::enable(), or from the environment via
+ *
+ *     DTC_TRACE=out.json
+ *
+ * — each span records (name, start, duration, thread, depth) into a
+ * per-thread buffer; DTC_TRACE additionally writes a
+ * chrome://tracing-loadable JSON file at process exit (load it at
+ * chrome://tracing or https://ui.perfetto.dev).
+ *
+ * Threading: spans are thread-aware.  Worker threads of the PR-1
+ * thread pool (common/parallel.h) get their own stable thread
+ * ordinal the first time they open a span; nesting depth is tracked
+ * per thread.  Span names must outlive the scope — use string
+ * literals.
+ */
+#ifndef DTC_OBS_TRACE_H
+#define DTC_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtc {
+namespace obs {
+
+/** Monotonic wall clock in microseconds since the process epoch. */
+double monotonicNowUs();
+
+/** One finished span, as recorded by TraceScope. */
+struct SpanRecord
+{
+    std::string name; ///< Phase name ("sgt.condense", ...).
+    double tsUs = 0;  ///< Start, microseconds since process epoch.
+    double durUs = 0; ///< Duration in microseconds.
+    int tid = 0;      ///< Stable per-thread ordinal (0-based).
+    int depth = 0;    ///< Nesting depth within the thread (0 = top).
+};
+
+namespace trace {
+
+/** Arms span recording (independent of any DTC_TRACE file). */
+void enable();
+
+/** Disarms span recording; already-recorded spans are kept. */
+void disable();
+
+/** True while spans are being recorded. */
+bool enabled();
+
+/** Drops every recorded span (buffers are kept for reuse). */
+void clear();
+
+/** Copies out all recorded spans, ordered by (tid, start time). */
+std::vector<SpanRecord> snapshot();
+
+/**
+ * Writes the recorded spans as chrome://tracing "trace event" JSON.
+ * Returns false when the file cannot be opened.
+ */
+bool writeJson(const std::string& path);
+
+/**
+ * Re-reads DTC_TRACE after disabling and clearing.  The environment
+ * is otherwise parsed once, on the first span.  When DTC_TRACE names
+ * a file, recording is armed and the file is written at process exit.
+ */
+void reloadFromEnv();
+
+namespace detail {
+
+/** 0 = disarmed, 1 = armed, 2 = environment not yet parsed. */
+extern std::atomic<int> gState;
+
+/** Number of thread buffers ever created (allocation probe). */
+int64_t threadBufferCount();
+
+void beginSlow(const char* name, void** cookie, double* t0);
+void endSlow(void* cookie, const char* name, double t0);
+
+} // namespace detail
+} // namespace trace
+
+/**
+ * RAII span (prefer the DTC_TRACE_SCOPE macro).  While tracing is
+ * disarmed, construction and destruction perform no clock read and
+ * no allocation.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char* name)
+    {
+        if (trace::detail::gState.load(std::memory_order_relaxed) ==
+            0)
+            return;
+        spanName = name;
+        trace::detail::beginSlow(name, &cookie, &startUs);
+    }
+
+    ~TraceScope()
+    {
+        if (cookie != nullptr)
+            trace::detail::endSlow(cookie, spanName, startUs);
+    }
+
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+  private:
+    const char* spanName = nullptr;
+    void* cookie = nullptr; ///< Thread buffer; null while disarmed.
+    double startUs = 0;
+};
+
+} // namespace obs
+} // namespace dtc
+
+#define DTC_OBS_CONCAT_INNER(a, b) a##b
+#define DTC_OBS_CONCAT(a, b) DTC_OBS_CONCAT_INNER(a, b)
+
+/** Opens a named span covering the rest of the enclosing scope. */
+#define DTC_TRACE_SCOPE(name)                                        \
+    ::dtc::obs::TraceScope DTC_OBS_CONCAT(dtcTraceScope_,            \
+                                          __LINE__)(name)
+
+#endif // DTC_OBS_TRACE_H

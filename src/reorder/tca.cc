@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "reorder/minhash.h"
 
 namespace dtc {
@@ -88,20 +89,28 @@ mergeHierarchy(int64_t num_elems, const SetOf& set_of,
     MinHasher hasher(p.numHashes, seed);
     std::vector<uint32_t> sigs(static_cast<size_t>(num_elems) *
                                p.numHashes);
-    hasher.signatureBatch(
-        num_elems,
-        [&](int64_t i) {
-            return std::pair<const int32_t*, const int32_t*>(
-                set_of(i));
-        },
-        sigs.data());
+    {
+        DTC_TRACE_SCOPE("tca.minhash");
+        hasher.signatureBatch(
+            num_elems,
+            [&](int64_t i) {
+                return std::pair<const int32_t*, const int32_t*>(
+                    set_of(i));
+            },
+            sigs.data());
+    }
 
     const size_t max_pairs =
         static_cast<size_t>(std::max<int64_t>(4096, num_elems * 24));
-    auto candidates = lshCandidatePairs(sigs, num_elems, p.numHashes,
-                                        p.bands, max_pairs);
+    std::vector<std::pair<int32_t, int32_t>> candidates;
+    {
+        DTC_TRACE_SCOPE("tca.lsh");
+        candidates = lshCandidatePairs(sigs, num_elems, p.numHashes,
+                                       p.bands, max_pairs);
+    }
     *candidate_pairs_out = static_cast<int64_t>(candidates.size());
 
+    DTC_TRACE_SCOPE("tca.merge");
     std::priority_queue<ScoredPair> queue;
     for (const auto& [a, b] : candidates) {
         auto [ab, ae] = set_of(a);
@@ -148,6 +157,8 @@ TcaResult
 tcaReorder(const CsrMatrix& m, const TcaParams& params)
 {
     DTC_CHECK(params.blockHeight > 0 && params.smNum > 0);
+    DTC_TRACE_SCOPE("tca.reorder");
+    obs::ScopedTimerMs timer("tca.reorder_ms");
     const int64_t rows = m.rows();
     TcaResult res;
     res.permutation.resize(static_cast<size_t>(rows));
@@ -292,6 +303,7 @@ tcaReorder(const CsrMatrix& m, const TcaParams& params)
         };
 
         cluster_order.clear();
+        DTC_TRACE_SCOPE("tca.chain");
         for (auto& s : supers) {
             chainOrder(s);
             cluster_order.insert(cluster_order.end(), s.begin(),
@@ -308,6 +320,16 @@ tcaReorder(const CsrMatrix& m, const TcaParams& params)
         for (int32_t r : clusters[c])
             res.permutation[pos++] = r;
     DTC_ASSERT(pos == res.permutation.size());
+    static obs::Counter& reorders =
+        obs::metrics::counter("tca.reorders");
+    static obs::Counter& clusters_out =
+        obs::metrics::counter("tca.clusters");
+    static obs::Counter& pairs =
+        obs::metrics::counter("tca.candidate_pairs");
+    reorders.add(1);
+    clusters_out.add(static_cast<uint64_t>(res.numClusters));
+    pairs.add(static_cast<uint64_t>(res.candidatePairsH1 +
+                                    res.candidatePairsH2));
     return res;
 }
 

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "gpusim/scheduler.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -13,6 +14,13 @@ selectKernel(const std::vector<int64_t>& blocks_per_window,
              const ArchSpec& arch, double threshold)
 {
     DTC_FAULT_POINT("selector.decide");
+    DTC_TRACE_SCOPE("selector.decide");
+    obs::ScopedTimerMs timer("selector.decide_ms");
+    static obs::Counter& decisions =
+        obs::metrics::counter("selector.decisions");
+    static obs::Counter& balanced =
+        obs::metrics::counter("selector.balanced_chosen");
+    decisions.add(1);
     DTC_CHECK_CODE(threshold > 0.0, ErrorCode::InvalidInput,
                    "selector threshold must be positive, got "
                        << threshold);
@@ -55,6 +63,8 @@ selectKernel(const std::vector<int64_t>& blocks_per_window,
         d.makespanBalanced > 0.0 ? d.makespanBase / d.makespanBalanced
                                  : 1.0;
     d.useBalanced = d.approximationRatio > threshold;
+    if (d.useBalanced)
+        balanced.add(1);
     return d;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "formats/convert_cost.h"
+#include "obs/metrics.h"
 
 namespace dtc {
 
@@ -75,6 +76,12 @@ evaluateCandidate(KernelKind kind, const CsrMatrix& m,
     TuneEntry entry;
     entry.kind = kind;
     entry.name = kernelKindName(kind);
+    DTC_TRACE_SCOPE("tuner.candidate");
+    static obs::Counter& evaluated =
+        obs::metrics::counter("tuner.candidates_evaluated");
+    static obs::Counter& refusals =
+        obs::metrics::counter("tuner.refusals");
+    evaluated.add(1);
     try {
         DTC_FAULT_POINT("tuner.prepare");
         auto kernel = makeKernel(kind);
@@ -82,6 +89,7 @@ evaluateCandidate(KernelKind kind, const CsrMatrix& m,
         if (!r.ok()) {
             entry.refusal = r.code;
             entry.reason = r.reason;
+            refusals.add(1);
             return entry;
         }
         entry.spmmMs = kernel->cost(request.denseWidth, cm).timeMs;
@@ -95,10 +103,12 @@ evaluateCandidate(KernelKind kind, const CsrMatrix& m,
         entry.supported = false;
         entry.refusal = e.code();
         entry.reason = e.what();
+        refusals.add(1);
     } catch (const std::exception& e) {
         entry.supported = false;
         entry.refusal = ErrorCode::Internal;
         entry.reason = e.what();
+        refusals.add(1);
     }
     return entry;
 }
@@ -110,6 +120,8 @@ tuneSpmm(const CsrMatrix& m, const TuneRequest& request,
          const CostModel& cm)
 {
     DTC_CHECK(request.denseWidth > 0 && request.iterations > 0);
+    DTC_TRACE_SCOPE("tuner.tune");
+    obs::ScopedTimerMs timer("tuner.tune_ms");
     const std::vector<KernelKind> candidates =
         request.candidates.empty() ? defaultTuneCandidates()
                                    : request.candidates;
@@ -134,6 +146,7 @@ tuneSpmm(const CsrMatrix& m, const TuneRequest& request,
             fb.name += " (terminal fallback)";
             result.fallbackAppended = true;
             result.entries.push_back(std::move(fb));
+            obs::metrics::counter("tuner.fallbacks_appended").add(1);
         }
     }
 

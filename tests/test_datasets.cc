@@ -130,10 +130,11 @@ TEST(Table1, HasEightEntriesInPaperOrder)
 TEST(Table1, TypeClassificationMatchesPaper)
 {
     for (const auto& e : table1Entries()) {
-        if (e.paperAvgRowL < 100)
+        if (e.paperAvgRowL < 100) {
             EXPECT_EQ(e.type, MatrixType::TypeI) << e.abbr;
-        else
+        } else {
             EXPECT_EQ(e.type, MatrixType::TypeII) << e.abbr;
+        }
     }
 }
 

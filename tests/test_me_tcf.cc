@@ -149,8 +149,9 @@ TEST(MeTcf, SparseAtoBPadsOnlyTailLanes)
         for (int lane = 0; lane < 8; ++lane) {
             const bool pad =
                 t.sparseAtoB()[b * 8 + lane] == MeTcfMatrix::kPadColumn;
-            if (seen_pad)
+            if (seen_pad) {
                 EXPECT_TRUE(pad); // pads are a suffix
+            }
             seen_pad |= pad;
         }
     }

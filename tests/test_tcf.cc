@@ -80,8 +80,9 @@ TEST(Tcf, CompressedColumnsAreWindowLocalRanks)
                  ++k) {
                 auto [it, fresh] = seen.emplace(
                     t.edgeList()[k], t.edgeToColumn()[k]);
-                if (!fresh)
+                if (!fresh) {
                     EXPECT_EQ(it->second, t.edgeToColumn()[k]);
+                }
             }
         }
         int32_t prev = -1;

@@ -97,8 +97,9 @@ TEST_F(TunerTest, SingleShotPenalizesHeavyConversion)
     TuneResult res = tuneSpmm(m, req, cm);
     const TuneEntry& best = res.best();
     for (const TuneEntry& e : res.entries) {
-        if (e.supported)
+        if (e.supported) {
             EXPECT_LE(best.amortizedMs, e.amortizedMs);
+        }
     }
     // TCGNN (CPU conversion, minutes-scale) must never win one-shot.
     EXPECT_NE(best.kind, KernelKind::Tcgnn);
