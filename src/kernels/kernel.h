@@ -25,9 +25,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/budget.h"
 #include "common/error.h"
+#include "common/precision.h"
 #include "gpusim/cost_model.h"
 #include "matrix/csr.h"
 #include "matrix/dense.h"
@@ -86,6 +88,48 @@ enum class KernelKind
 /** Display name of a kernel kind. */
 const char* kernelKindName(KernelKind kind);
 
+/**
+ * Static properties of one registered kernel, exposed so tools (the
+ * differential oracle, the tuner, future CLIs) can enumerate and
+ * instantiate every kernel without hard-coding the list.
+ */
+struct KernelTraits
+{
+    KernelKind kind;
+
+    /** Operand precision of the kernel's fixed numerics. */
+    Precision nativePrecision;
+
+    /**
+     * True for the DTC family: the kernel can be instantiated at any
+     * tensor-core precision (Tf32/Bf16/Fp16), not just its native one.
+     */
+    bool precisionConfigurable;
+
+    /**
+     * True when compute() is bit-identical to referenceSpmmRounded at
+     * the precision it runs at (same per-row ascending-column FP32
+     * accumulation).  False only for SparTA, whose structured /
+     * remainder split mixes TF32 and FP32 numerics.
+     */
+    bool bitExactRounded;
+};
+
+/** Every registered kernel, in registry order. */
+const std::vector<KernelTraits>& allKernelTraits();
+
+/** Traits of one kind. */
+const KernelTraits& kernelTraits(KernelKind kind);
+
+/** Every registered KernelKind, in registry order. */
+std::vector<KernelKind> allKernelKinds();
+
+/** Display names of every registered kernel, in registry order. */
+std::vector<std::string> allKernelNames();
+
+/** True when @p kind can be instantiated at operand precision @p p. */
+bool kernelSupportsPrecision(KernelKind kind, Precision p);
+
 /** Device bytes of @p a's CSR arrays (rowPtr + colIdx + values). */
 int64_t csrFootprintBytes(const CsrMatrix& a);
 
@@ -100,6 +144,16 @@ Refusal refuseIfOverConversionBudget(const CsrMatrix& a,
 
 /** Creates a kernel instance. */
 std::unique_ptr<SpmmKernel> makeKernel(KernelKind kind);
+
+/**
+ * Creates a kernel instance configured for operand precision @p p, or
+ * nullptr when kernelSupportsPrecision(kind, p) is false (the combo is
+ * not expressible — distinct from a Refusal, which is the kernel
+ * itself declining a concrete input).  For the DTC family this sets
+ * DtcOptions::precision; Precision::Fp32 returns a DTC kernel whose
+ * prepare() refuses, mirroring real tensor-core constraints.
+ */
+std::unique_ptr<SpmmKernel> makeKernelAt(KernelKind kind, Precision p);
 
 } // namespace dtc
 

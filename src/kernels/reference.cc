@@ -49,6 +49,40 @@ referenceSpmm(const CsrMatrix& a, const DenseMatrix& b, DenseMatrix& c)
 }
 
 void
+referenceSpmmRounded(const CsrMatrix& a, const DenseMatrix& b,
+                     DenseMatrix& c, Precision p)
+{
+    DTC_CHECK(a.cols() == b.rows());
+    DTC_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+    if (engine::enabled()) {
+        engine::spmmCsrRounded(a.rows(), a.rowPtr().data(),
+                               a.colIdx().data(), a.values().data(),
+                               p, b, c, kRowGrain);
+        return;
+    }
+    const int64_t n = b.cols();
+    c.setZero();
+    const bool round_a = p != Precision::Fp32;
+    parallelFor(0, a.rows(), kRowGrain,
+                [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+            float* crow = c.row(r);
+            for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1];
+                 ++k) {
+                const float v =
+                    round_a ? roundToPrecision(a.values()[k], p)
+                            : a.values()[k];
+                const float* brow = b.row(a.colIdx()[k]);
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += v * (round_a
+                                        ? roundToPrecision(brow[j], p)
+                                        : brow[j]);
+            }
+        }
+    });
+}
+
+void
 referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
                   DenseMatrix& c)
 {

@@ -3,14 +3,17 @@
  * Reference SpMM implementations — the correctness oracles.
  *
  * referenceSpmm accumulates in double precision (the "ground truth"
- * all kernels are compared against); referenceSpmmTf32 applies TF32
- * operand rounding with FP32 accumulation, the exact numerics of a
- * tensor-core kernel, so TC kernels can be checked for bit-level
- * agreement rather than tolerance.
+ * all kernels are compared against); referenceSpmmRounded applies the
+ * requested operand rounding (TF32/BF16/FP16, or none for FP32) with
+ * FP32 accumulation in per-row ascending-column order — the exact
+ * numerics of every kernel in the registry except SparTA — so kernels
+ * can be checked for bit-level agreement rather than tolerance.
+ * referenceSpmmTf32 is the paper-precision shorthand.
  */
 #ifndef DTC_KERNELS_REFERENCE_H
 #define DTC_KERNELS_REFERENCE_H
 
+#include "common/precision.h"
 #include "matrix/csr.h"
 #include "matrix/dense.h"
 
@@ -19,6 +22,13 @@ namespace dtc {
 /** C = A * B with double accumulation, rounded to float at the end. */
 void referenceSpmm(const CsrMatrix& a, const DenseMatrix& b,
                    DenseMatrix& c);
+
+/**
+ * C = A * B with both operands rounded to precision @p p and FP32
+ * accumulation in per-row ascending-column order.
+ */
+void referenceSpmmRounded(const CsrMatrix& a, const DenseMatrix& b,
+                          DenseMatrix& c, Precision p);
 
 /** C = A * B with TF32 operand rounding and FP32 accumulation. */
 void referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,

@@ -73,6 +73,98 @@ refuseIfOverConversionBudget(const CsrMatrix& a,
     return Refusal::accept();
 }
 
+const std::vector<KernelTraits>&
+allKernelTraits()
+{
+    // One row per KernelKind, in enum order; NamesMatchRegistry and
+    // the harness's coverage test keep this exhaustive.
+    static const std::vector<KernelTraits> kTraits = {
+        {KernelKind::CuSparse, Precision::Fp32, false, true},
+        {KernelKind::Tcgnn, Precision::Tf32, false, true},
+        {KernelKind::Dtc, Precision::Tf32, true, true},
+        {KernelKind::DtcBase, Precision::Tf32, true, true},
+        {KernelKind::DtcBalanced, Precision::Tf32, true, true},
+        {KernelKind::Sputnik, Precision::Fp32, false, true},
+        {KernelKind::SparseTir, Precision::Fp32, false, true},
+        {KernelKind::BlockSpmm32, Precision::Tf32, false, true},
+        {KernelKind::BlockSpmm64, Precision::Tf32, false, true},
+        {KernelKind::VectorSparse4, Precision::Tf32, false, true},
+        {KernelKind::VectorSparse8, Precision::Tf32, false, true},
+        {KernelKind::FlashLlmV1, Precision::Tf32, false, true},
+        {KernelKind::FlashLlmV2, Precision::Tf32, false, true},
+        {KernelKind::SparTA, Precision::Tf32, false, false},
+    };
+    return kTraits;
+}
+
+const KernelTraits&
+kernelTraits(KernelKind kind)
+{
+    for (const KernelTraits& t : allKernelTraits()) {
+        if (t.kind == kind)
+            return t;
+    }
+    DTC_ASSERT(false);
+    return allKernelTraits().front();
+}
+
+std::vector<KernelKind>
+allKernelKinds()
+{
+    std::vector<KernelKind> kinds;
+    kinds.reserve(allKernelTraits().size());
+    for (const KernelTraits& t : allKernelTraits())
+        kinds.push_back(t.kind);
+    return kinds;
+}
+
+std::vector<std::string>
+allKernelNames()
+{
+    std::vector<std::string> names;
+    names.reserve(allKernelTraits().size());
+    for (const KernelTraits& t : allKernelTraits())
+        names.emplace_back(kernelKindName(t.kind));
+    return names;
+}
+
+bool
+kernelSupportsPrecision(KernelKind kind, Precision p)
+{
+    const KernelTraits& t = kernelTraits(kind);
+    if (t.precisionConfigurable) {
+        // Any tensor-core precision, plus Fp32 which the kernel's own
+        // prepare() refuses (the refusal is part of its behaviour).
+        return true;
+    }
+    return p == t.nativePrecision;
+}
+
+std::unique_ptr<SpmmKernel>
+makeKernelAt(KernelKind kind, Precision p)
+{
+    if (!kernelSupportsPrecision(kind, p))
+        return nullptr;
+    if (!kernelTraits(kind).precisionConfigurable)
+        return makeKernel(kind);
+    DtcOptions o;
+    o.precision = p;
+    switch (kind) {
+      case KernelKind::Dtc:
+        o.mode = DtcOptions::Mode::Auto;
+        break;
+      case KernelKind::DtcBase:
+        o.mode = DtcOptions::Mode::Base;
+        break;
+      case KernelKind::DtcBalanced:
+        o.mode = DtcOptions::Mode::Balanced;
+        break;
+      default:
+        DTC_ASSERT(false);
+    }
+    return std::make_unique<DtcKernel>(o);
+}
+
 std::unique_ptr<SpmmKernel>
 makeKernel(KernelKind kind)
 {

@@ -158,12 +158,18 @@ writeMatrixMarket(std::ostream& out, const CooMatrix& m)
 {
     out << "%%MatrixMarket matrix coordinate real general\n";
     out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    // max_digits10 keeps the write -> read round trip bit-exact; the
+    // fuzz corpus replays shrunk failures from these files, so lossy
+    // values would change the reproduced bits.
+    const auto old_precision = out.precision(
+        std::numeric_limits<float>::max_digits10);
     const auto& r = m.rowIndices();
     const auto& c = m.colIndices();
     const auto& v = m.values();
     for (int64_t i = 0; i < m.nnz(); ++i) {
         out << (r[i] + 1) << " " << (c[i] + 1) << " " << v[i] << "\n";
     }
+    out.precision(old_precision);
 }
 
 void

@@ -1,0 +1,377 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+#include "common/fault.h"
+#include "formats/serialize.h"
+#include "matrix/mm_io.h"
+#include "testing/generators.h"
+#include "testing/properties.h"
+
+namespace dtc {
+namespace testing {
+
+namespace {
+
+/** Stable stem for a dumped artifact. */
+std::string
+artifactStem(StructureFamily family, uint64_t seed,
+             const OracleOutcome& o)
+{
+    std::ostringstream os;
+    os << structureFamilyName(family) << "-s" << seed << "-k"
+       << static_cast<int>(o.kind) << "-" << precisionName(o.precision)
+       << "-e" << (o.engineOn ? 1 : 0) << "-t" << o.threads;
+    return os.str();
+}
+
+void
+logLine(const FuzzOptions& opt, const std::string& line)
+{
+    if (opt.log)
+        *opt.log << line << "\n";
+}
+
+/**
+ * One fault-contract run: executes @p body under an armed fault and
+ * classifies the outcome.  @p body returns the failure description
+ * from the oracle's judgement ("" = verified correct).
+ */
+void
+faultRun(FuzzStats& stats, const FuzzOptions& opt,
+         const std::string& what,
+         const std::function<std::string()>& body)
+{
+    ++stats.faultRuns;
+    try {
+        const std::string verdict = body();
+        if (!verdict.empty()) {
+            ++stats.failures;
+            stats.failureLines.push_back(
+                "fault sweep [" + what +
+                "]: silent corruption — " + verdict);
+            logLine(opt, stats.failureLines.back());
+        }
+    } catch (const DtcError&) {
+        // Typed error: the contract's happy unhappy-path.
+    } catch (const std::exception& e) {
+        ++stats.failures;
+        stats.failureLines.push_back("fault sweep [" + what +
+                                     "]: untyped exception — " +
+                                     e.what());
+        logLine(opt, stats.failureLines.back());
+    }
+}
+
+} // namespace
+
+std::string
+FuzzStats::summary() const
+{
+    std::ostringstream os;
+    os << cases << " cases, " << combos << " combos (" << passes
+       << " pass, " << refusals << " refused, " << skips
+       << " skipped), " << properties << " properties, " << faultRuns
+       << " fault runs, " << failures << " failures";
+    return os.str();
+}
+
+FuzzStats
+fuzzOneCase(StructureFamily family, uint64_t seed,
+            const FuzzOptions& opt)
+{
+    FuzzStats stats;
+    stats.cases = 1;
+
+    OracleCase c;
+    c.a = generateStructure(family, seed, opt.scale);
+    c.denseWidth = opt.denseWidth;
+    c.seed = seed ^ 0xfeedface12345678ull;
+    {
+        std::ostringstream os;
+        os << structureFamilyName(family) << " seed=" << seed
+           << " scale=" << opt.scale;
+        c.label = os.str();
+    }
+
+    const OracleReport report = runOracle(c, opt.oracle);
+    stats.combos = report.combos();
+    stats.passes = report.passes;
+    stats.refusals = report.refusals;
+    stats.skips = report.skips;
+    stats.failures = report.failures;
+    if (report.ok()) {
+        logLine(opt, c.label + ": " + report.summary());
+        return stats;
+    }
+
+    // Shrink the first failing combo and dump a replayable artifact.
+    const OracleOutcome& f = *report.firstFailure();
+    const auto predicate = [&](const CsrMatrix& m) {
+        return comboFails(f.kind, f.precision, f.engineOn, f.threads,
+                          m, c.denseWidth, c.seed,
+                          opt.oracle.toleranceSafety);
+    };
+    const ShrinkResult shrunk =
+        shrinkMatrix(c.a, predicate, opt.shrinkEvaluations);
+
+    std::string fresh_detail;
+    comboFails(f.kind, f.precision, f.engineOn, f.threads,
+               shrunk.matrix, c.denseWidth, c.seed,
+               opt.oracle.toleranceSafety, &fresh_detail);
+
+    std::ostringstream line;
+    line << c.label << ": " << f.describe() << " | shrunk to "
+         << shrunk.matrix.rows() << "x" << shrunk.matrix.cols()
+         << " nnz=" << shrunk.matrix.nnz() << " in "
+         << shrunk.evaluations << " evals: " << fresh_detail;
+    stats.failureLines.push_back(line.str());
+    logLine(opt, line.str());
+
+    if (!opt.corpusDir.empty()) {
+        FailureArtifact info;
+        info.family = structureFamilyName(family);
+        info.structSeed = seed;
+        info.scale = opt.scale;
+        info.kind = f.kind;
+        info.precision = f.precision;
+        info.engineOn = f.engineOn;
+        info.threads = f.threads;
+        info.denseWidth = c.denseWidth;
+        info.denseSeed = c.seed;
+        info.detail = fresh_detail.empty() ? f.detail : fresh_detail;
+        const std::string path = writeFailureArtifact(
+            opt.corpusDir, artifactStem(family, seed, f),
+            shrunk.matrix, info);
+        logLine(opt, "  artifact: " + path);
+    }
+    return stats;
+}
+
+FuzzStats
+runSmokeCampaign(const FuzzOptions& opt)
+{
+    FuzzStats stats;
+    for (StructureFamily family : allStructureFamilies())
+        for (uint64_t seed : opt.seeds)
+            stats.absorb(fuzzOneCase(family, seed, opt));
+    stats.absorb(runPropertySweep(opt));
+    stats.absorb(runFaultSweep(opt));
+    return stats;
+}
+
+FuzzStats
+runTimedCampaign(const FuzzOptions& opt, double minutes,
+                 uint64_t base_seed)
+{
+    FuzzStats stats;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(minutes * 60.0));
+    uint64_t seed = base_seed;
+    size_t family_idx = 0;
+    const auto& families = allStructureFamilies();
+    while (std::chrono::steady_clock::now() < deadline) {
+        stats.absorb(
+            fuzzOneCase(families[family_idx], seed, opt));
+        family_idx = (family_idx + 1) % families.size();
+        if (family_idx == 0)
+            ++seed;
+    }
+    return stats;
+}
+
+FuzzStats
+runPropertySweep(const FuzzOptions& opt)
+{
+    FuzzStats stats;
+
+    // A representative kernel slice: the paper's kernel at its target
+    // precision, a CUDA-core baseline, and the deepest-pipelined TC
+    // baseline.  The oracle already differentials every kernel; the
+    // properties guard the *pipeline* (reorder, serialize), so a
+    // slice keeps the sweep inside the smoke budget.
+    struct Slice
+    {
+        KernelKind kind;
+        Precision precision;
+    };
+    const std::vector<Slice> slice = {
+        {KernelKind::Dtc, Precision::Tf32},
+        {KernelKind::CuSparse, Precision::Fp32},
+        {KernelKind::FlashLlmV2, Precision::Tf32},
+    };
+    const std::vector<ReorderMethod> methods = {
+        ReorderMethod::Tca, ReorderMethod::Louvain,
+        ReorderMethod::Metis};
+
+    auto record = [&](const PropertyResult& r,
+                      const std::string& what) {
+        ++stats.properties;
+        if (!r.passed) {
+            ++stats.failures;
+            stats.failureLines.push_back("property [" + what +
+                                         "]: " + r.detail);
+            logLine(opt, stats.failureLines.back());
+        }
+    };
+
+    for (StructureFamily family : allStructureFamilies()) {
+        const uint64_t seed = opt.seeds.empty() ? 1 : opt.seeds[0];
+        const CsrMatrix a =
+            generateStructure(family, seed, opt.scale);
+        const uint64_t dense_seed = seed ^ 0xfeedface12345678ull;
+        const std::string where =
+            std::string(structureFamilyName(family)) + " seed=" +
+            std::to_string(seed);
+        ++stats.cases;
+
+        for (const Slice& s : slice) {
+            const std::string label =
+                where + " " + kernelKindName(s.kind);
+            record(checkLinearity(a, s.kind, s.precision,
+                                  opt.denseWidth, dense_seed,
+                                  opt.oracle.toleranceSafety),
+                   label + " linearity");
+            record(checkScalarScaling(a, s.kind, s.precision,
+                                      opt.denseWidth, dense_seed),
+                   label + " scalar-scaling");
+            record(checkSerializeRoundTrip(a, s.kind, s.precision,
+                                           opt.denseWidth,
+                                           dense_seed),
+                   label + " serialize-round-trip");
+        }
+        for (ReorderMethod method : methods)
+            record(checkReorderInvariance(
+                       a, method, KernelKind::Dtc, Precision::Tf32,
+                       opt.denseWidth, dense_seed,
+                       opt.oracle.toleranceSafety),
+                   where + std::string(" reorder-invariance-") +
+                       reorderMethodName(method));
+    }
+    return stats;
+}
+
+FuzzStats
+runFaultSweep(const FuzzOptions& opt)
+{
+    FuzzStats stats;
+    const CsrMatrix a =
+        generateStructure(StructureFamily::PowerLaw, 7, 0);
+    const DenseMatrix b =
+        makeDenseOperand(a.cols(), opt.denseWidth, 7);
+
+    const std::vector<ErrorCode> codes = {
+        ErrorCode::ResourceExhausted, ErrorCode::CorruptData};
+    const std::vector<int64_t> nths = {1, 2};
+
+    // Kernel pipeline sites: SGT condensation, ME-TCF conversion and
+    // the selector all run inside DtcKernel::prepare.
+    for (const char* site : {"sgt.condense.chunk", "me_tcf.convert",
+                             "selector.decide"})
+        for (int64_t nth : nths)
+            for (ErrorCode code : codes) {
+                std::ostringstream what;
+                what << site << ":" << nth << ":"
+                     << errorCodeName(code);
+                faultRun(stats, opt, what.str(), [&]() {
+                    fault::ScopedFault guard(site, nth, code);
+                    std::unique_ptr<SpmmKernel> kernel =
+                        makeKernel(KernelKind::Dtc);
+                    const Refusal r = kernel->prepare(a);
+                    if (!r.ok())
+                        return std::string(); // structured refusal
+                    DenseMatrix got(a.rows(), b.cols());
+                    kernel->compute(b, got);
+                    return judgeResult(a, b, got, Precision::Tf32,
+                                       /*bit_exact=*/true,
+                                       opt.oracle.toleranceSafety);
+                });
+            }
+
+    // Serialization site: load must throw or reproduce the matrix.
+    for (int64_t nth : nths)
+        for (ErrorCode code : codes) {
+            std::ostringstream what;
+            what << "serialize.read_array:" << nth << ":"
+                 << errorCodeName(code);
+            faultRun(stats, opt, what.str(), [&]() {
+                std::stringstream io;
+                saveCsr(io, a);
+                fault::ScopedFault guard("serialize.read_array", nth,
+                                         code);
+                const CsrMatrix reloaded = loadCsr(io);
+                return reloaded == a
+                           ? std::string()
+                           : std::string(
+                                 "reloaded CSR differs from saved");
+            });
+        }
+
+    // Matrix Market reader site.
+    for (ErrorCode code : codes) {
+        std::ostringstream what;
+        what << "mm_io.read:1:" << errorCodeName(code);
+        faultRun(stats, opt, what.str(), [&]() {
+            std::stringstream io;
+            writeMatrixMarket(io, a.toCoo());
+            fault::ScopedFault guard("mm_io.read", 1, code);
+            const CsrMatrix reloaded =
+                CsrMatrix::fromCoo(readMatrixMarket(io));
+            return reloaded == a
+                       ? std::string()
+                       : std::string(
+                             "re-read matrix differs from written");
+        });
+    }
+    return stats;
+}
+
+FuzzStats
+replayCorpus(const std::string& dir, std::ostream* log)
+{
+    FuzzStats stats;
+    for (const std::string& path : listCaseFiles(dir)) {
+        ++stats.cases;
+        ++stats.combos;
+        std::string detail;
+        const LoadedArtifact artifact = loadFailureArtifact(path);
+        if (replayArtifact(artifact, &detail)) {
+            ++stats.failures;
+            stats.failureLines.push_back("corpus regression " + path +
+                                         ": " + detail);
+            if (log)
+                *log << stats.failureLines.back() << "\n";
+        } else {
+            ++stats.passes;
+            if (log)
+                *log << path << ": pass\n";
+        }
+    }
+    return stats;
+}
+
+std::vector<std::string>
+listCaseFiles(const std::string& dir)
+{
+    std::vector<std::string> paths;
+    if (!std::filesystem::is_directory(dir))
+        return paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".case")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace testing
+} // namespace dtc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pathological structure generators for the conformance harness.
+ *
+ * src/datasets/generators synthesizes *realistic* matrices (the
+ * classes the paper evaluates on).  This library deliberately targets
+ * the opposite population: the adversarial shapes where format
+ * pipelines (SGT condensation -> ME-TCF -> kernel traversal) break
+ * silently — empty rows and whole empty windows, single-nonzero rows,
+ * power-law hubs, dense blocks straddling the 16x8 TC grid, columns
+ * condensed from a tiny pool, degenerate 1xN / Mx1 / all-zero shapes,
+ * and column spans past INT16 (where narrow index arithmetic
+ * overflows).  Every family is deterministic in (family, seed, scale).
+ */
+#ifndef DTC_TESTING_GENERATORS_H
+#define DTC_TESTING_GENERATORS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace dtc {
+namespace testing {
+
+/** Named adversarial structure families. */
+enum class StructureFamily
+{
+    EmptyRows,       ///< Most rows (and whole 16-row windows) empty.
+    SingletonRows,   ///< Exactly one nonzero per row.
+    PowerLaw,        ///< Zipf degrees plus one near-dense hub row.
+    Banded,          ///< Narrow band, width not a multiple of 8.
+    BlockDense,      ///< Dense blocks straddling the 16x8 TC grid.
+    DuplicateColumns,///< All rows draw from a tiny column pool.
+    SingleRowWide,   ///< 1xN.
+    SingleColTall,   ///< Mx1.
+    AllZero,         ///< No nonzeros; shape may have 0 rows/cols.
+    WideColumnSpan,  ///< Columns beyond INT16_MAX in one row.
+    ZeroValues,      ///< Structural nonzeros whose value is 0.0f.
+    NearDense,       ///< >= 90% fill.
+};
+
+/** Every family, in declaration order. */
+const std::vector<StructureFamily>& allStructureFamilies();
+
+/** Stable display name, e.g. "empty-rows". */
+const char* structureFamilyName(StructureFamily f);
+
+/**
+ * Parses a family name (exact match against structureFamilyName).
+ * Throws DtcError(InvalidInput) on an unknown name — used when
+ * replaying corpus artifacts.
+ */
+StructureFamily structureFamilyFromName(const std::string& name);
+
+/**
+ * Generates one matrix of @p family.  @p scale 0 produces tiny
+ * matrices (tens of rows — shrinker-friendly), 1 the default small
+ * sizes (a few hundred rows), 2 medium sizes (a few thousand) for the
+ * timed fuzzing mode.  Identical (family, seed, scale) always yields
+ * an identical matrix.
+ */
+CsrMatrix generateStructure(StructureFamily family, uint64_t seed,
+                            int scale = 1);
+
+} // namespace testing
+} // namespace dtc
+
+#endif // DTC_TESTING_GENERATORS_H

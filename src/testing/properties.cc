@@ -1,0 +1,277 @@
+#include "testing/properties.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/rng.h"
+#include "formats/me_tcf.h"
+#include "formats/serialize.h"
+#include "kernels/reference.h"
+#include "testing/oracle.h"
+
+namespace dtc {
+namespace testing {
+
+namespace {
+
+constexpr double kEps32 = 5.97e-8; // 2^-24, rounded up
+
+bool
+bitEqual(const DenseMatrix& x, const DenseMatrix& y)
+{
+    if (x.rows() != y.rows() || x.cols() != y.cols())
+        return false;
+    if (x.size() == 0) // memcmp forbids null even for length 0
+        return true;
+    return std::memcmp(x.data(), y.data(),
+                       x.size() * sizeof(float)) == 0;
+}
+
+/**
+ * Runs @p kind at @p p on (a, b).  Returns false when the kernel
+ * refuses or the combo is inexpressible (@p note explains); throws
+ * whatever the kernel throws.
+ */
+bool
+computeWith(KernelKind kind, Precision p, const CsrMatrix& a,
+            const DenseMatrix& b, DenseMatrix& c, std::string* note)
+{
+    std::unique_ptr<SpmmKernel> kernel = makeKernelAt(kind, p);
+    if (!kernel) {
+        if (note)
+            *note = "combo not expressible";
+        return false;
+    }
+    const Refusal r = kernel->prepare(a);
+    if (!r.ok()) {
+        if (note)
+            *note = "refused: " + r.reason;
+        return false;
+    }
+    c = DenseMatrix(a.rows(), b.cols());
+    kernel->compute(b, c);
+    return true;
+}
+
+/** Per-row tolerance bound shared by the metamorphic checks. */
+std::vector<double>
+rowTolerances(const CsrMatrix& a, Precision p, double max_abs_b,
+              double safety)
+{
+    const double u = unitRoundoff(p);
+    std::vector<double> tol(static_cast<size_t>(a.rows()), 0.0);
+    for (int64_t r = 0; r < a.rows(); ++r) {
+        double abs_sum = 0.0;
+        for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k)
+            abs_sum += std::fabs(static_cast<double>(a.values()[k]));
+        const int64_t len = a.rowLength(r);
+        tol[static_cast<size_t>(r)] =
+            safety * (2.0 * u + static_cast<double>(len + 8) * kEps32) *
+            abs_sum * max_abs_b;
+    }
+    return tol;
+}
+
+std::vector<int32_t>
+invertPermutation(const std::vector<int32_t>& perm)
+{
+    std::vector<int32_t> inv(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        inv[static_cast<size_t>(perm[i])] = static_cast<int32_t>(i);
+    return inv;
+}
+
+} // namespace
+
+PropertyResult
+checkReorderInvariance(const CsrMatrix& a, ReorderMethod method,
+                       KernelKind kind, Precision p,
+                       int64_t dense_width, uint64_t seed,
+                       double tolerance_safety)
+{
+    if (a.rows() != a.cols())
+        return PropertyResult::pass("skipped: non-square");
+
+    const std::vector<int32_t> perm = computeReordering(a, method);
+    if (!isPermutation(perm, a.rows())) {
+        std::ostringstream os;
+        os << reorderMethodName(method)
+           << " did not return a permutation of [0, " << a.rows()
+           << ")";
+        return PropertyResult::fail(os.str());
+    }
+
+    const CsrMatrix ap = a.permuteSymmetric(perm);
+
+    // Exact structural round trip through the inverse permutation.
+    if (!(ap.permuteSymmetric(invertPermutation(perm)) == a)) {
+        std::ostringstream os;
+        os << "permuteSymmetric(" << reorderMethodName(method)
+           << ") then inverse did not restore the matrix";
+        return PropertyResult::fail(os.str());
+    }
+
+    const DenseMatrix b = makeDenseOperand(a.cols(), dense_width, seed);
+    DenseMatrix bp(b.rows(), b.cols());
+    for (int64_t r = 0; r < b.rows(); ++r)
+        std::memcpy(bp.row(r), b.row(perm[static_cast<size_t>(r)]),
+                    static_cast<size_t>(b.cols()) * sizeof(float));
+
+    std::string note;
+    DenseMatrix c1;
+    if (!computeWith(kind, p, a, b, c1, &note))
+        return PropertyResult::pass(note);
+    DenseMatrix c2;
+    if (!computeWith(kind, p, ap, bp, c2, &note))
+        return PropertyResult::pass(note);
+
+    // c2 row r must match c1 row perm[r].  Tolerance only: relabeling
+    // permutes each row's accumulation order.
+    double max_abs_b = 0.0;
+    for (size_t i = 0; i < b.size(); ++i)
+        max_abs_b = std::max(
+            max_abs_b, std::fabs(static_cast<double>(b.data()[i])));
+    const std::vector<double> tol =
+        rowTolerances(ap, p, max_abs_b, tolerance_safety);
+    for (int64_t r = 0; r < c2.rows(); ++r) {
+        const int64_t src = perm[static_cast<size_t>(r)];
+        for (int64_t j = 0; j < c2.cols(); ++j) {
+            const double diff = std::fabs(
+                static_cast<double>(c2.at(r, j)) - c1.at(src, j));
+            if (!(diff <= tol[static_cast<size_t>(r)])) {
+                std::ostringstream os;
+                os << reorderMethodName(method)
+                   << " invariance broken at permuted row " << r
+                   << " col " << j << ": |" << c2.at(r, j) << " - "
+                   << c1.at(src, j) << "| > "
+                   << tol[static_cast<size_t>(r)];
+                return PropertyResult::fail(os.str());
+            }
+        }
+    }
+    return PropertyResult::pass();
+}
+
+PropertyResult
+checkLinearity(const CsrMatrix& a, KernelKind kind, Precision p,
+               int64_t dense_width, uint64_t seed,
+               double tolerance_safety)
+{
+    const DenseMatrix b1 = makeDenseOperand(a.cols(), dense_width, seed);
+    const DenseMatrix b2 =
+        makeDenseOperand(a.cols(), dense_width, seed ^ 0x5ca1ab1eull);
+    DenseMatrix bsum(b1.rows(), b1.cols());
+    for (size_t i = 0; i < bsum.size(); ++i)
+        bsum.data()[i] = b1.data()[i] + b2.data()[i];
+
+    std::string note;
+    DenseMatrix c1, c2, csum;
+    if (!computeWith(kind, p, a, b1, c1, &note) ||
+        !computeWith(kind, p, a, b2, c2, &note) ||
+        !computeWith(kind, p, a, bsum, csum, &note))
+        return PropertyResult::pass(note);
+
+    // Three rounded computations stack: budget them jointly, with
+    // |B| bounded by the sum's magnitude (<= 2).
+    const std::vector<double> tol =
+        rowTolerances(a, p, 2.0, 3.0 * tolerance_safety);
+    for (int64_t r = 0; r < csum.rows(); ++r)
+        for (int64_t j = 0; j < csum.cols(); ++j) {
+            const double want = static_cast<double>(c1.at(r, j)) +
+                                static_cast<double>(c2.at(r, j));
+            const double diff =
+                std::fabs(static_cast<double>(csum.at(r, j)) - want);
+            if (!(diff <= tol[static_cast<size_t>(r)])) {
+                std::ostringstream os;
+                os << "linearity broken at (" << r << "," << j
+                   << "): A(B1+B2)=" << csum.at(r, j)
+                   << " vs AB1+AB2=" << want << ", tol "
+                   << tol[static_cast<size_t>(r)];
+                return PropertyResult::fail(os.str());
+            }
+        }
+    return PropertyResult::pass();
+}
+
+PropertyResult
+checkScalarScaling(const CsrMatrix& a, KernelKind kind, Precision p,
+                   int64_t dense_width, uint64_t seed)
+{
+    const DenseMatrix b = makeDenseOperand(a.cols(), dense_width, seed);
+    DenseMatrix b2x(b.rows(), b.cols());
+    for (size_t i = 0; i < b.size(); ++i)
+        b2x.data()[i] = 2.0f * b.data()[i];
+
+    std::string note;
+    DenseMatrix c, c2x;
+    if (!computeWith(kind, p, a, b, c, &note) ||
+        !computeWith(kind, p, a, b2x, c2x, &note))
+        return PropertyResult::pass(note);
+
+    DenseMatrix scaled(c.rows(), c.cols());
+    for (size_t i = 0; i < c.size(); ++i)
+        scaled.data()[i] = 2.0f * c.data()[i];
+
+    if (kernelTraits(kind).bitExactRounded) {
+        if (!bitEqual(c2x, scaled))
+            return PropertyResult::fail(
+                "A(2B) is not bit-identical to 2*(A*B)");
+        return PropertyResult::pass();
+    }
+    // SparTA-class kernels: same bound as the oracle, doubled |B|.
+    const std::vector<double> tol = rowTolerances(a, p, 2.0, 16.0);
+    for (int64_t r = 0; r < c2x.rows(); ++r)
+        for (int64_t j = 0; j < c2x.cols(); ++j)
+            if (!(std::fabs(static_cast<double>(c2x.at(r, j)) -
+                            scaled.at(r, j)) <=
+                  tol[static_cast<size_t>(r)]))
+                return PropertyResult::fail(
+                    "A(2B) deviates from 2*(A*B) beyond tolerance");
+    return PropertyResult::pass();
+}
+
+PropertyResult
+checkSerializeRoundTrip(const CsrMatrix& a, KernelKind kind,
+                        Precision p, int64_t dense_width,
+                        uint64_t seed)
+{
+    // CSR binary round trip is exact.
+    std::stringstream csr_io;
+    saveCsr(csr_io, a);
+    const CsrMatrix reloaded = loadCsr(csr_io);
+    if (!(reloaded == a))
+        return PropertyResult::fail(
+            "CSR save -> load did not reproduce the matrix");
+
+    // ME-TCF round trip: serialize the condensed format, reload, and
+    // the expansion must land back on the original CSR exactly.
+    const MeTcfMatrix me = MeTcfMatrix::build(a);
+    std::stringstream me_io;
+    saveMeTcf(me_io, me);
+    const MeTcfMatrix me2 = loadMeTcf(me_io);
+    me2.validate();
+    if (!(me2.toCsr() == a))
+        return PropertyResult::fail(
+            "ME-TCF save -> load -> toCsr did not reproduce the "
+            "matrix");
+
+    // Compute on the reloaded CSR: bit-identical to the original.
+    const DenseMatrix b = makeDenseOperand(a.cols(), dense_width, seed);
+    std::string note;
+    DenseMatrix c1, c2;
+    if (!computeWith(kind, p, a, b, c1, &note))
+        return PropertyResult::pass(note);
+    if (!computeWith(kind, p, reloaded, b, c2, &note))
+        return PropertyResult::fail(
+            "kernel accepted the original but not the reloaded "
+            "matrix: " + note);
+    if (!bitEqual(c1, c2))
+        return PropertyResult::fail(
+            "compute on reloaded CSR differs bitwise from the "
+            "original");
+    return PropertyResult::pass();
+}
+
+} // namespace testing
+} // namespace dtc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Metamorphic properties of SpMM — oracles that need no ground truth.
+ *
+ * Each check derives a second input from the first by a transformation
+ * with a known effect on the output (paper Section 4's reorder-then-
+ * condense pipeline makes these the natural invariants):
+ *
+ *   - reorder invariance: symmetric relabeling by any registry
+ *     reordering (TCA/Louvain/METIS/...) permutes C's rows and nothing
+ *     else, and the inverse permutation restores the original matrix
+ *     exactly;
+ *   - linearity: A(B1 + B2) = A*B1 + A*B2 within the accumulated
+ *     rounding budget;
+ *   - scalar scaling: A(2B) is bit-identical to 2*(A*B) — powers of
+ *     two commute with every rounding mode;
+ *   - serialize round trip: CSR and ME-TCF survive
+ *     save -> load -> compute with bit-identical results.
+ */
+#ifndef DTC_TESTING_PROPERTIES_H
+#define DTC_TESTING_PROPERTIES_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/precision.h"
+#include "kernels/kernel.h"
+#include "matrix/csr.h"
+#include "reorder/orderings.h"
+
+namespace dtc {
+namespace testing {
+
+/** Outcome of one metamorphic check. */
+struct PropertyResult
+{
+    bool passed = true;
+
+    /** Non-empty on failure; on a pass may note "refused"/"skipped". */
+    std::string detail;
+
+    static PropertyResult pass(std::string note = std::string())
+    {
+        return {true, std::move(note)};
+    }
+
+    static PropertyResult fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/**
+ * Symmetric relabeling invariance: with P from @p method,
+ * kernel(P A P^T) applied to the row-permuted B must equal the
+ * row-permuted kernel(A) B within tolerance, and
+ * permuteSymmetric(perm) then permuteSymmetric(perm^-1) must restore
+ * @p a exactly.  Non-square inputs and kernel refusals pass with a
+ * note.
+ */
+PropertyResult checkReorderInvariance(const CsrMatrix& a,
+                                      ReorderMethod method,
+                                      KernelKind kind, Precision p,
+                                      int64_t dense_width,
+                                      uint64_t seed,
+                                      double tolerance_safety = 8.0);
+
+/** A(B1+B2) = A*B1 + A*B2 within the combined rounding budget. */
+PropertyResult checkLinearity(const CsrMatrix& a, KernelKind kind,
+                              Precision p, int64_t dense_width,
+                              uint64_t seed,
+                              double tolerance_safety = 8.0);
+
+/**
+ * A(2B) bit-equals 2*(A*B) for bit-exact kernels (tolerance-checked
+ * for the rest): multiplying by a power of two commutes with TF32/
+ * BF16/FP16 rounding and with FP32 accumulation.
+ */
+PropertyResult checkScalarScaling(const CsrMatrix& a, KernelKind kind,
+                                  Precision p, int64_t dense_width,
+                                  uint64_t seed);
+
+/**
+ * CSR and ME-TCF binary round trips: save -> load reproduces the
+ * matrix exactly (operator== / toCsr), and computing on the reloaded
+ * CSR is bit-identical to computing on the original.
+ */
+PropertyResult checkSerializeRoundTrip(const CsrMatrix& a,
+                                       KernelKind kind, Precision p,
+                                       int64_t dense_width,
+                                       uint64_t seed);
+
+} // namespace testing
+} // namespace dtc
+
+#endif // DTC_TESTING_PROPERTIES_H

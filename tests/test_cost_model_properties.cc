@@ -10,8 +10,11 @@
 
 #include <numeric>
 
+#include "formats/me_tcf.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/scheduler.h"
+#include "selector/selector.h"
+#include "testing/generators.h"
 
 namespace dtc {
 namespace {
@@ -57,6 +60,87 @@ TEST(SchedulerProperties, MakespanMonotoneInWork)
         double ms = scheduleThreadBlocks(grown, 16, 2).makespanCycles;
         EXPECT_GE(ms, prev);
         prev = ms;
+    }
+}
+
+TEST(SchedulerProperties, AssignmentsInRangeOnPathologicalShapes)
+{
+    // Every adversarial structure family, through SGT/ME-TCF, feeds
+    // the Eq. 1 scheduler: each thread block must land on a real SM
+    // and every block must be scheduled — no out-of-range indexing on
+    // empty-window-heavy or hub-dominated distributions.
+    for (testing::StructureFamily family :
+         testing::allStructureFamilies()) {
+        SCOPED_TRACE(testing::structureFamilyName(family));
+        const CsrMatrix m = testing::generateStructure(family, 1, 0);
+        const MeTcfMatrix me = MeTcfMatrix::build(m);
+        std::vector<double> tbs;
+        for (int64_t w = 0; w < me.numWindows(); ++w)
+            tbs.push_back(static_cast<double>(me.blocksInWindow(w)));
+        if (tbs.empty())
+            continue;
+        const ScheduleResult r = scheduleThreadBlocks(tbs, 128, 6);
+        ASSERT_EQ(r.tbToSm.size(), tbs.size());
+        for (int sm : r.tbToSm) {
+            ASSERT_GE(sm, 0);
+            ASSERT_LT(sm, 128);
+        }
+        ASSERT_EQ(r.smBusyCycles.size(), 128u);
+    }
+}
+
+TEST(SelectorProperties, DecisionSaneOnPathologicalShapes)
+{
+    // The Selector must evaluate every adversarial family without
+    // throwing: degenerate inputs fall back to base with a note;
+    // non-degenerate ones satisfy AR = base/balanced >= 1 and the
+    // threshold rule.
+    const ArchSpec arch = ArchSpec::rtx4090();
+    for (testing::StructureFamily family :
+         testing::allStructureFamilies()) {
+        SCOPED_TRACE(testing::structureFamilyName(family));
+        const CsrMatrix m = testing::generateStructure(family, 1, 0);
+        const MeTcfMatrix me = MeTcfMatrix::build(m);
+        const SelectorDecision d = selectKernel(me, arch);
+        if (d.degenerate) {
+            EXPECT_FALSE(d.useBalanced);
+            EXPECT_FALSE(d.note.empty());
+            continue;
+        }
+        EXPECT_GT(d.makespanBalanced, 0.0);
+        EXPECT_GE(d.makespanBase, d.makespanBalanced - 1e-9);
+        EXPECT_GE(d.approximationRatio, 1.0 - 1e-9);
+        EXPECT_EQ(d.useBalanced,
+                  d.approximationRatio > kSelectorArThreshold);
+    }
+}
+
+TEST(SelectorProperties, BaseMakespanMonotoneInTcBlockCount)
+{
+    // Adding a TC block to any row window can only grow (or keep) the
+    // simulated base-kernel makespan — the cost the Selector ranks.
+    for (testing::StructureFamily family :
+         {testing::StructureFamily::PowerLaw,
+          testing::StructureFamily::EmptyRows,
+          testing::StructureFamily::DuplicateColumns}) {
+        SCOPED_TRACE(testing::structureFamilyName(family));
+        const CsrMatrix m = testing::generateStructure(family, 3, 0);
+        const MeTcfMatrix me = MeTcfMatrix::build(m);
+        std::vector<int64_t> blocks;
+        for (int64_t w = 0; w < me.numWindows(); ++w)
+            blocks.push_back(me.blocksInWindow(w));
+        if (blocks.empty())
+            continue;
+        const ArchSpec arch = ArchSpec::rtx4090();
+        const SelectorDecision base = selectKernel(blocks, arch);
+        for (size_t w = 0; w < blocks.size();
+             w += std::max<size_t>(1, blocks.size() / 7)) {
+            std::vector<int64_t> grown = blocks;
+            ++grown[w];
+            const SelectorDecision d = selectKernel(grown, arch);
+            EXPECT_GE(d.makespanBase, base.makespanBase)
+                << "window " << w;
+        }
     }
 }
 

@@ -18,6 +18,7 @@
 #include "kernels/reference.h"
 #include "matrix/coo.h"
 #include "selector/selector.h"
+#include "testing/oracle.h"
 
 namespace dtc {
 namespace {
@@ -45,6 +46,101 @@ TEST(EdgeCases, EmptyMatrixThroughEveryKernel)
             ASSERT_EQ(c.data()[i], 0.0f) << kernelKindName(kind);
         LaunchResult r = kernel->cost(8, cm);
         EXPECT_GE(r.timeMs, 0.0) << kernelKindName(kind);
+    }
+}
+
+TEST(EdgeCases, ZeroDimensionShapesThroughFullPipeline)
+{
+    // 0x0, 0xN and Mx0 through SGT -> ME-TCF -> every registered
+    // kernel: each must refuse with a structured Refusal or produce a
+    // correctly-shaped all-zero C — never crash or mis-size.
+    struct Shape
+    {
+        int64_t rows;
+        int64_t cols;
+    };
+    CostModel cm(ArchSpec::rtx4090());
+    for (const Shape s : {Shape{0, 0}, Shape{0, 64}, Shape{64, 0}}) {
+        SCOPED_TRACE(::testing::Message()
+                     << s.rows << "x" << s.cols);
+        CsrMatrix a(s.rows, s.cols);
+        MeTcfMatrix t = MeTcfMatrix::build(a);
+        EXPECT_NO_THROW(t.validate());
+        EXPECT_TRUE(a == t.toCsr());
+
+        const DenseMatrix b =
+            testing::makeDenseOperand(s.cols, 8, 42);
+        for (KernelKind kind : allKernelKinds()) {
+            auto kernel = makeKernel(kind);
+            const Refusal r = kernel->prepare(a);
+            if (!r.ok()) {
+                EXPECT_FALSE(kernel->prepared())
+                    << kernelKindName(kind);
+                continue;
+            }
+            DenseMatrix c(s.rows, 8);
+            c.fill(99.0f);
+            kernel->compute(b, c);
+            ASSERT_EQ(c.rows(), s.rows) << kernelKindName(kind);
+            ASSERT_EQ(c.cols(), 8) << kernelKindName(kind);
+            for (size_t i = 0; i < c.size(); ++i)
+                ASSERT_EQ(c.data()[i], 0.0f) << kernelKindName(kind);
+            const LaunchResult lr = kernel->cost(8, cm);
+            EXPECT_GE(lr.timeMs, 0.0) << kernelKindName(kind);
+        }
+    }
+}
+
+TEST(EdgeCases, AllZeroRowsInterleavedThroughEveryKernel)
+{
+    // Rows 0, 17 and 40 populated, everything else (including whole
+    // 16-row windows) empty: every kernel that accepts must match the
+    // reference at its native precision — empty rows exactly zero.
+    CooMatrix coo(48, 48);
+    coo.add(0, 5, 1.5f);
+    coo.add(17, 31, -2.0f);
+    coo.add(40, 0, 0.5f);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    const DenseMatrix b = testing::makeDenseOperand(48, 8, 43);
+    for (const KernelTraits& kt : allKernelTraits()) {
+        auto kernel = makeKernel(kt.kind);
+        if (!kernel->prepare(a).ok())
+            continue;
+        DenseMatrix c(48, 8);
+        c.fill(99.0f);
+        kernel->compute(b, c);
+        EXPECT_EQ(testing::judgeResult(a, b, c, kt.nativePrecision,
+                                       kt.bitExactRounded, 8.0),
+                  "")
+            << kernel->name();
+        for (int64_t r : {1, 16, 30, 47})
+            for (int64_t j = 0; j < 8; ++j)
+                ASSERT_EQ(c.at(r, j), 0.0f)
+                    << kernel->name() << " row " << r;
+    }
+}
+
+TEST(EdgeCases, SingleElementThroughEveryKernel)
+{
+    // One nonzero in a 1x1 matrix, judged through the same oracle the
+    // fuzzer uses (refusal allowed, wrong answer not).
+    CooMatrix coo(1, 1);
+    coo.add(0, 0, 2.5f);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    MeTcfMatrix t = MeTcfMatrix::build(a);
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_TRUE(a == t.toCsr());
+    const DenseMatrix b = testing::makeDenseOperand(1, 4, 44);
+    for (const KernelTraits& kt : allKernelTraits()) {
+        auto kernel = makeKernel(kt.kind);
+        if (!kernel->prepare(a).ok())
+            continue;
+        DenseMatrix c(1, 4);
+        kernel->compute(b, c);
+        EXPECT_EQ(testing::judgeResult(a, b, c, kt.nativePrecision,
+                                       kt.bitExactRounded, 8.0),
+                  "")
+            << kernel->name();
     }
 }
 

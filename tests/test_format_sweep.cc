@@ -14,6 +14,8 @@
 #include "formats/me_tcf.h"
 #include "formats/sgt.h"
 #include "formats/tcf.h"
+#include "kernels/kernel.h"
+#include "testing/oracle.h"
 
 namespace dtc {
 namespace {
@@ -114,6 +116,29 @@ TEST_P(FormatSweep, CvseCountsConsistent)
     EXPECT_EQ(v.panelOffset().back(), v.numVectors());
     EXPECT_EQ(static_cast<int64_t>(v.values().size()),
               v.numVectors() * 8);
+}
+
+TEST_P(FormatSweep, EveryRegisteredKernelConformsOnThisClass)
+{
+    // Enumerated from the registry (no hard-coded kernel list): each
+    // kernel either refuses this matrix class or agrees with the
+    // reference at its native precision — the same judgement the
+    // fuzzing oracle applies.
+    CsrMatrix m = matrix();
+    const DenseMatrix b = testing::makeDenseOperand(
+        m.cols(), 16, static_cast<uint64_t>(GetParam()) + 99);
+    for (const KernelTraits& kt : allKernelTraits()) {
+        auto kernel = makeKernel(kt.kind);
+        const Refusal r = kernel->prepare(m);
+        if (!r.ok())
+            continue;
+        DenseMatrix c(m.rows(), 16);
+        kernel->compute(b, c);
+        EXPECT_EQ(testing::judgeResult(m, b, c, kt.nativePrecision,
+                                       kt.bitExactRounded, 8.0),
+                  "")
+            << kernel->name();
+    }
 }
 
 TEST_P(FormatSweep, SgtBlockBoundsHold)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "common/rng.h"
 #include "datasets/generators.h"
@@ -50,23 +51,21 @@ testMatrix(int which, Rng& rng)
     }
 }
 
-struct KernelCase
-{
-    KernelKind kind;
-    bool tf32; ///< Expect bit-match with the TF32 reference.
-};
-
+/**
+ * Parameterized over the registry's own enumeration: a kernel added
+ * to allKernelTraits() is swept here with zero test edits.
+ */
 class KernelCorrectness
-    : public ::testing::TestWithParam<KernelCase>
+    : public ::testing::TestWithParam<KernelTraits>
 {};
 
 TEST_P(KernelCorrectness, MatchesReferenceAcrossMatrixClasses)
 {
-    const KernelCase kc = GetParam();
+    const KernelTraits& kt = GetParam();
     Rng rng(123);
     for (int which = 0; which < 5; ++which) {
         CsrMatrix a = testMatrix(which, rng);
-        auto kernel = makeKernel(kc.kind);
+        auto kernel = makeKernel(kt.kind);
         const std::string err = kernel->prepare(a);
         ASSERT_EQ(err, "") << kernel->name();
 
@@ -77,18 +76,20 @@ TEST_P(KernelCorrectness, MatchesReferenceAcrossMatrixClasses)
 
         DenseMatrix want(a.rows(), 32);
         referenceSpmm(a, b, want);
-        expectClose(c, want, kc.tf32 ? 1e-3 : 1e-6);
+        expectClose(c, want,
+                    kt.nativePrecision == Precision::Fp32 ? 1e-6
+                                                          : 1e-3);
     }
 }
 
-TEST_P(KernelCorrectness, Tf32KernelsBitMatchTf32Reference)
+TEST_P(KernelCorrectness, BitMatchesRoundedReference)
 {
-    const KernelCase kc = GetParam();
-    if (!kc.tf32)
-        GTEST_SKIP() << "FP32 kernel";
+    const KernelTraits& kt = GetParam();
+    if (!kt.bitExactRounded)
+        GTEST_SKIP() << "kernel mixes precisions (tolerance-only)";
     Rng rng(7);
     CsrMatrix a = genUniform(200, 10.0, rng);
-    auto kernel = makeKernel(kc.kind);
+    auto kernel = makeKernel(kt.kind);
     ASSERT_EQ(kernel->prepare(a), "");
 
     DenseMatrix b(a.cols(), 16);
@@ -97,27 +98,15 @@ TEST_P(KernelCorrectness, Tf32KernelsBitMatchTf32Reference)
     kernel->compute(b, c);
 
     DenseMatrix want(a.rows(), 16);
-    referenceSpmmTf32(a, b, want);
+    referenceSpmmRounded(a, b, want, kt.nativePrecision);
     EXPECT_TRUE(c == want) << kernel->name()
                            << " maxdiff=" << c.maxAbsDiff(want);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, KernelCorrectness,
-    ::testing::Values(
-        KernelCase{KernelKind::CuSparse, false},
-        KernelCase{KernelKind::Sputnik, false},
-        KernelCase{KernelKind::SparseTir, false},
-        KernelCase{KernelKind::Tcgnn, true},
-        KernelCase{KernelKind::Dtc, true},
-        KernelCase{KernelKind::DtcBase, true},
-        KernelCase{KernelKind::DtcBalanced, true},
-        KernelCase{KernelKind::BlockSpmm32, true},
-        KernelCase{KernelKind::VectorSparse4, true},
-        KernelCase{KernelKind::VectorSparse8, true},
-        KernelCase{KernelKind::FlashLlmV1, true},
-        KernelCase{KernelKind::FlashLlmV2, true}),
-    [](const ::testing::TestParamInfo<KernelCase>& info) {
+    ::testing::ValuesIn(allKernelTraits()),
+    [](const ::testing::TestParamInfo<KernelTraits>& info) {
         std::string n = kernelKindName(info.param.kind);
         for (char& ch : n)
             if (!std::isalnum(static_cast<unsigned char>(ch)))
@@ -233,14 +222,37 @@ TEST(Kernels, TcgnnRefusesNonSquare)
 
 TEST(Kernels, NamesMatchRegistry)
 {
-    for (KernelKind kind :
-         {KernelKind::CuSparse, KernelKind::Tcgnn, KernelKind::Sputnik,
-          KernelKind::SparseTir, KernelKind::BlockSpmm32,
-          KernelKind::VectorSparse8, KernelKind::FlashLlmV2,
-          KernelKind::SparTA}) {
-        auto kernel = makeKernel(kind);
-        EXPECT_EQ(kernel->name(), kernelKindName(kind));
+    // The traits table is the single source of truth: every kind it
+    // lists must construct, carry the registry name, and appear in
+    // allKernelNames() exactly once.
+    const std::vector<std::string> names = allKernelNames();
+    const std::vector<KernelKind> kinds = allKernelKinds();
+    ASSERT_EQ(names.size(), kinds.size());
+    for (size_t i = 0; i < kinds.size(); ++i) {
+        auto kernel = makeKernel(kinds[i]);
+        ASSERT_NE(kernel, nullptr);
+        EXPECT_EQ(kernel->name(), kernelKindName(kinds[i]));
+        EXPECT_EQ(kernel->name(), names[i]);
     }
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Kernels, MakeKernelAtHonorsTraits)
+{
+    for (const KernelTraits& kt : allKernelTraits())
+        for (Precision p : {Precision::Fp32, Precision::Tf32,
+                            Precision::Bf16, Precision::Fp16}) {
+            auto kernel = makeKernelAt(kt.kind, p);
+            if (kernelSupportsPrecision(kt.kind, p))
+                EXPECT_NE(kernel, nullptr)
+                    << kernelKindName(kt.kind) << " @ "
+                    << precisionName(p);
+            else
+                EXPECT_EQ(kernel, nullptr)
+                    << kernelKindName(kt.kind) << " @ "
+                    << precisionName(p);
+        }
 }
 
 TEST(Kernels, ReferenceTf32CloseToDouble)
