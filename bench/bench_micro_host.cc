@@ -35,6 +35,8 @@
 #include "obs/metrics.h"
 #include "reorder/minhash.h"
 #include "reorder/tca.h"
+#include "runtime/guard.h"
+#include "runtime/runtime.h"
 #include "selector/selector.h"
 #include "tuner/tuner.h"
 
@@ -304,6 +306,34 @@ BENCHMARK(BM_ReferenceTf32Engine)
     ->Args({512, 1});
 
 void
+BM_RuntimeGuardOverhead(benchmark::State& state)
+{
+    // The online-guard tax on Runtime::run.  Arg(0): guard disabled —
+    // the per-run probe is one relaxed atomic load (guard::enabled),
+    // so this row should track the bare kernel row.  Arg(1): the
+    // default 1% row sample, whose cost is the quantity README's
+    // "Resilient runtime" section cites.
+    static CsrMatrix m = [] {
+        Rng rng(5);
+        return genCommunity(4096, 16, 16.0, 0.85, rng);
+    }();
+    static const CostModel cm(ArchSpec::rtx4090());
+    runtime::RuntimeOptions opt;
+    opt.guard.sampleFraction = state.range(0) != 0 ? 0.01 : 0.0;
+    runtime::Runtime rt(m, cm, std::move(opt));
+    Rng rng(3);
+    DenseMatrix b(m.cols(), 32);
+    b.fillRandom(rng);
+    DenseMatrix c(m.rows(), 32);
+    for (auto _ : state) {
+        rt.run(b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * 32);
+}
+BENCHMARK(BM_RuntimeGuardOverhead)->Arg(0)->Arg(1);
+
+void
 BM_SelectorDecision(benchmark::State& state)
 {
     static MeTcfMatrix t = MeTcfMatrix::build(benchMatrix());
@@ -365,6 +395,42 @@ smokeCompare(const char* kernel_name, const CsrMatrix& m, int64_t n,
     row.legacyBRoundOps = static_cast<uint64_t>(reps) *
                           static_cast<uint64_t>(m.nnz()) *
                           static_cast<uint64_t>(n);
+    return row;
+}
+
+/**
+ * Guard-off vs guard-on timing of Runtime::run, reported in the same
+ * row shape as the engine rows (off = guard disabled, on = the
+ * default 1% sample) so bench_compare gates the guard tax alongside
+ * the engine wins.  The rounding-op columns do not apply; both are 0.
+ */
+SmokeRow
+runtimeGuardSmoke(const CsrMatrix& m, int64_t n, int reps)
+{
+    SmokeRow row;
+    row.kernel = "Runtime::run guard_off_on";
+    row.n = n;
+    row.legacyBRoundOps = 0;
+    row.engineBRoundOps = 0;
+    const CostModel cm(ArchSpec::rtx4090());
+    Rng brng(static_cast<uint64_t>(n) + 1);
+    DenseMatrix b(m.cols(), n);
+    b.fillRandom(brng);
+    DenseMatrix c(m.rows(), n);
+    {
+        runtime::RuntimeOptions opt;
+        opt.guard.sampleFraction = 0.0;
+        runtime::Runtime rt(m, cm, std::move(opt));
+        rt.run(b, c); // warm-up: prepare the winning kernel
+        row.offMs = bench::timedMs(reps, [&] { rt.run(b, c); });
+    }
+    {
+        runtime::RuntimeOptions opt;
+        opt.guard.sampleFraction = 0.01;
+        runtime::Runtime rt(m, cm, std::move(opt));
+        rt.run(b, c);
+        row.onMs = bench::timedMs(reps, [&] { rt.run(b, c); });
+    }
     return row;
 }
 
@@ -469,6 +535,8 @@ runEngineSmoke(const std::string& out_path,
             "referenceSpmmTf32", m, n, reps,
             [&] { referenceSpmmTf32(m, b, c); }));
     }
+    // Resilient-runtime row: the guard tax, gated like the rest.
+    rows.push_back(runtimeGuardSmoke(m, 32, reps));
 
     std::ofstream out(out_path);
     if (!out) {

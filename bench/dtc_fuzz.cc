@@ -36,10 +36,13 @@ usage(const char* argv0)
         << "usage: " << argv0 << " MODE [options]\n"
         << "modes:\n"
         << "  --smoke            bounded deterministic sweep (CI gate)\n"
+        << "  --soak [--rounds N] resilience soak: runtime under randomized\n"
+        << "                     deadlines + fault sweep (CI gate)\n"
         << "  --minutes N        timed fuzzing campaign\n"
         << "  --replay DIR       re-judge checked-in corpus artifacts\n"
         << "options:\n"
-        << "  --seed S           base seed for --minutes (default 1000)\n"
+        << "  --seed S           base seed for --minutes/--soak\n"
+        << "  --rounds N         scenarios for --soak (default 64)\n"
         << "  --scale K          generator scale 0..2 (default 0 smoke, 1 timed)\n"
         << "  --width N          dense operand width (default 16)\n"
         << "  --corpus-out DIR   dump shrunk failure artifacts here\n"
@@ -58,6 +61,7 @@ main(int argc, char** argv)
     {
         None,
         Smoke,
+        Soak,
         Timed,
         Replay,
     };
@@ -66,6 +70,8 @@ main(int argc, char** argv)
     std::string replay_dir;
     std::string corpus_out;
     uint64_t base_seed = 1000;
+    bool seed_given = false;
+    int64_t rounds = 64;
     int scale = -1;
     int64_t width = 16;
     bool quiet = false;
@@ -81,6 +87,10 @@ main(int argc, char** argv)
         };
         if (arg == "--smoke") {
             mode = Mode::Smoke;
+        } else if (arg == "--soak") {
+            mode = Mode::Soak;
+        } else if (arg == "--rounds") {
+            rounds = std::stoll(next("a count"));
         } else if (arg == "--minutes") {
             mode = Mode::Timed;
             minutes = std::stod(next("a duration"));
@@ -89,6 +99,7 @@ main(int argc, char** argv)
             replay_dir = next("a directory");
         } else if (arg == "--seed") {
             base_seed = std::stoull(next("a seed"));
+            seed_given = true;
         } else if (arg == "--scale") {
             scale = std::stoi(next("a scale"));
         } else if (arg == "--width") {
@@ -119,6 +130,11 @@ main(int argc, char** argv)
             opt.scale = scale < 0 ? 0 : scale;
             opt.seeds = {1, 2};
             stats = runSmokeCampaign(opt);
+            break;
+          case Mode::Soak:
+            opt.scale = scale < 0 ? 0 : scale;
+            stats = runSoakCampaign(opt, rounds,
+                                    seed_given ? base_seed : 5000);
             break;
           case Mode::Timed:
             opt.scale = scale < 0 ? 1 : scale;

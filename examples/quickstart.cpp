@@ -6,7 +6,9 @@
  *   2. convert it to ME-TCF inside the DTC-SpMM kernel,
  *   3. let the simulation-based Selector pick base vs balanced,
  *   4. compute C = A * B functionally (TF32 numerics),
- *   5. verify against the reference and report simulated performance.
+ *   5. verify against the reference and report simulated performance,
+ *   6. do the same through the resilient runtime — the entry point a
+ *      deployment actually calls (deadline, retry/reroute, guard).
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -20,6 +22,7 @@
 #include "kernels/dtc.h"
 #include "kernels/reference.h"
 #include "matrix/stats.h"
+#include "runtime/runtime.h"
 
 int
 main()
@@ -80,5 +83,22 @@ main()
                 "utilization %.1f%%, L2 hit rate %.1f%%\n",
                 arch.name.c_str(), r.timeMs, r.gflops(),
                 r.tcUtilPct, r.l2HitRate * 100.0);
+
+    // 6. In a deployment you don't pick a kernel by hand: the
+    //    resilient runtime tunes the whole registry, runs the winner
+    //    under a deadline, retries transient failures, reroutes
+    //    around persistent ones (circuit breaker), and spot-checks
+    //    ~1% of output rows against a double-precision recompute.
+    runtime::RuntimeOptions ropt;
+    ropt.deadlineMs = 10000;        // or export DTC_DEADLINE_MS
+    ropt.guard.sampleFraction = 0.01; // or export DTC_GUARD_SAMPLE
+    runtime::Runtime rt(a, cm, std::move(ropt));
+    runtime::RunReport rep;
+    rt.run(b, c, &rep);
+    std::printf("runtime: kernel=%s attempts=%d guard rows "
+                "checked=%lld, max |err| vs fp64=%.2e\n",
+                rep.kernel.c_str(), rep.attempts,
+                static_cast<long long>(rep.guardRowsChecked),
+                c.maxAbsDiff(want_fp64));
     return 0;
 }

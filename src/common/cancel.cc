@@ -1,0 +1,69 @@
+#include "common/cancel.h"
+
+#include "common/error.h"
+#include "obs/trace.h"
+
+namespace dtc {
+
+namespace {
+
+thread_local CancelToken* tlsCurrentToken = nullptr;
+
+} // namespace
+
+void
+CancelToken::setDeadlineInMs(double rel_ms)
+{
+    deadlineUs = obs::monotonicNowUs() + rel_ms * 1e3;
+}
+
+bool
+CancelToken::tripped()
+{
+    if (state.load(std::memory_order_relaxed) != 0)
+        return true;
+    if (checkBudget.load(std::memory_order_relaxed) > 0 &&
+        checkBudget.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        trip(2);
+        return true;
+    }
+    if (deadlineUs >= 0.0 && obs::monotonicNowUs() > deadlineUs) {
+        trip(2);
+        return true;
+    }
+    return false;
+}
+
+void
+CancelToken::check()
+{
+    if (!tripped())
+        return;
+    if (state.load(std::memory_order_relaxed) == 1) {
+        throw DtcError(ErrorCode::Cancelled, "operation cancelled",
+                       {.component = "cancel"});
+    }
+    throw DtcError(ErrorCode::DeadlineExceeded, "deadline exceeded",
+                   {.component = "cancel"});
+}
+
+namespace cancel {
+
+CancelToken*
+current()
+{
+    return tlsCurrentToken;
+}
+
+ScopedCancel::ScopedCancel(CancelToken* token) : prev(tlsCurrentToken)
+{
+    tlsCurrentToken = token;
+}
+
+ScopedCancel::~ScopedCancel()
+{
+    tlsCurrentToken = prev;
+}
+
+} // namespace cancel
+} // namespace dtc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cooperative cancellation & deadlines.
+ *
+ * A CancelToken is shared between a controller (who cancels or arms a
+ * deadline) and the code doing the work (which polls at natural
+ * yield points).  Polling is threaded through the runtime's long
+ * loops:
+ *
+ *   - parallelFor / parallelReduce poll at every chunk boundary, on
+ *     whichever thread runs the chunk (the token installed on the
+ *     submitting thread propagates to pool workers);
+ *   - the engine's SpMM drivers poll at every column-panel boundary
+ *     (engine/spmm_csr.cc), so even a single huge chunk cannot stall
+ *     past one panel;
+ *   - Runtime::run (src/runtime/) installs a deadline token around
+ *     the whole prepare/compute/guard pipeline.
+ *
+ * A tripped token surfaces as a typed DtcError — Cancelled for an
+ * explicit cancel(), DeadlineExceeded for an expired deadline — and
+ * unwinds through the normal exception path, so no state leaks: the
+ * thread pool finishes in-flight chunks and the partially-written
+ * output stays caller-owned scratch.
+ *
+ * Cost when no token is installed: one thread-local pointer read per
+ * poll.  Determinism: wall-clock deadlines are inherently racy, so
+ * tests use expireAfterChecks(n) — the token trips on its nth poll,
+ * which is deterministic under ScopedNumThreads(1).
+ */
+#ifndef DTC_COMMON_CANCEL_H
+#define DTC_COMMON_CANCEL_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace dtc {
+
+/** Shared cancellation/deadline flag (see file comment). */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /** Requests cancellation; the next poll throws Cancelled. */
+    void cancel() { trip(1); }
+
+    /**
+     * Arms a deadline @p rel_ms milliseconds from now; a poll after
+     * expiry throws DeadlineExceeded.  Arm before sharing the token.
+     */
+    void setDeadlineInMs(double rel_ms);
+
+    /**
+     * Deterministic test hook: the @p n-th poll (1-based) throws
+     * DeadlineExceeded regardless of wall clock.  n <= 0 disarms.
+     */
+    void expireAfterChecks(int64_t n)
+    {
+        checkBudget.store(n, std::memory_order_relaxed);
+    }
+
+    /** Non-throwing probe; evaluates the deadline. */
+    bool tripped();
+
+    /** True once cancel()/deadline tripped (no deadline re-check). */
+    bool cancelled() const
+    {
+        return state.load(std::memory_order_relaxed) != 0;
+    }
+
+    /**
+     * Cooperative yield point: throws DtcError(Cancelled) or
+     * DtcError(DeadlineExceeded) once the token tripped.
+     */
+    void check();
+
+  private:
+    void trip(int reason)
+    {
+        int expected = 0;
+        state.compare_exchange_strong(expected, reason,
+                                      std::memory_order_relaxed);
+    }
+
+    /** 0 = live, 1 = cancelled, 2 = deadline expired. */
+    std::atomic<int> state{0};
+
+    /** Absolute monotonic deadline in us; <0 = none. */
+    double deadlineUs = -1.0;
+
+    /** Polls remaining before a forced trip; <=0 = disabled. */
+    std::atomic<int64_t> checkBudget{0};
+};
+
+namespace cancel {
+
+/** Token installed on this thread, or nullptr. */
+CancelToken* current();
+
+/**
+ * RAII install of @p token as this thread's current token (nullptr
+ * uninstalls).  parallelFor re-installs the submitting thread's token
+ * inside every chunk, so bodies and their callees see it on pool
+ * workers too.
+ */
+class ScopedCancel
+{
+  public:
+    explicit ScopedCancel(CancelToken* token);
+    ~ScopedCancel();
+
+    ScopedCancel(const ScopedCancel&) = delete;
+    ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+  private:
+    CancelToken* prev;
+};
+
+/**
+ * Polls the current token, if any — one thread-local read when no
+ * token is installed.  The poll sites named in the file comment call
+ * this.
+ */
+inline void
+poll()
+{
+    if (CancelToken* t = current())
+        t->check();
+}
+
+} // namespace cancel
+} // namespace dtc
+
+#endif // DTC_COMMON_CANCEL_H

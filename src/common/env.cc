@@ -1,0 +1,74 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace dtc {
+namespace env {
+
+int64_t
+parseInt64(const std::string& text, const char* what, int64_t lo,
+           int64_t hi)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end == text.c_str() || *end != '\0' ||
+        errno == ERANGE) {
+        DTC_RAISE(ErrorCode::InvalidInput,
+                  what << " is not an integer: \"" << text << "\"");
+    }
+    if (v < lo || v > hi) {
+        DTC_RAISE(ErrorCode::InvalidInput,
+                  what << " = " << v << " is outside [" << lo << ", "
+                       << hi << "]");
+    }
+    return static_cast<int64_t>(v);
+}
+
+std::optional<int64_t>
+readInt64(const char* name, int64_t lo, int64_t hi)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return std::nullopt;
+    return parseInt64(raw, name, lo, hi);
+}
+
+std::optional<double>
+readDouble(const char* name, double lo, double hi)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v)) {
+        DTC_RAISE(ErrorCode::InvalidInput,
+                  name << " is not a finite number: \"" << raw
+                       << "\"");
+    }
+    if (v < lo || v > hi) {
+        DTC_RAISE(ErrorCode::InvalidInput,
+                  name << " = " << v << " is outside [" << lo << ", "
+                       << hi << "]");
+    }
+    return v;
+}
+
+std::optional<std::string>
+readString(const char* name)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return std::nullopt;
+    return std::string(raw);
+}
+
+} // namespace env
+} // namespace dtc

@@ -21,6 +21,10 @@ errorCodeName(ErrorCode code)
         return "Unsupported";
       case ErrorCode::Internal:
         return "Internal";
+      case ErrorCode::DeadlineExceeded:
+        return "DeadlineExceeded";
+      case ErrorCode::Cancelled:
+        return "Cancelled";
     }
     return "?";
 }
@@ -35,7 +39,8 @@ parseErrorCode(const std::string& name)
     for (ErrorCode code :
          {ErrorCode::InvalidInput, ErrorCode::CorruptData,
           ErrorCode::ResourceExhausted, ErrorCode::Unsupported,
-          ErrorCode::Internal}) {
+          ErrorCode::Internal, ErrorCode::DeadlineExceeded,
+          ErrorCode::Cancelled}) {
         std::string want = errorCodeName(code);
         std::transform(want.begin(), want.end(), want.begin(),
                        [](unsigned char c) {

@@ -42,6 +42,8 @@ enum class ErrorCode
     ResourceExhausted, ///< An allocation would exceed a ResourceBudget.
     Unsupported,       ///< Valid input outside a component's domain.
     Internal,          ///< Library invariant violated (a bug).
+    DeadlineExceeded,  ///< A runtime deadline expired mid-operation.
+    Cancelled,         ///< The caller cancelled the operation.
 };
 
 /** Stable display name of an error code (e.g. "ResourceExhausted"). */

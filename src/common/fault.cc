@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/env.h"
+#include "common/fault_sites.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
 
@@ -64,16 +66,28 @@ parseEnvLocked()
                                one,
                            {.component = "fault"});
         }
-        SiteState& st = registry()[one.substr(0, c1)];
-        st.spec.site = one.substr(0, c1);
-        st.spec.nth = std::strtoll(one.substr(c1 + 1).c_str(),
-                                   nullptr, 10);
-        st.spec.code = parseErrorCode(one.substr(c2 + 1));
-        if (st.spec.nth < 1) {
+        const std::string site = one.substr(0, c1);
+        if (!isValidFaultSite(site)) {
+            // A typo'd site used to arm a fault no code would ever
+            // hit — the injection silently never fired.  Fail loudly
+            // and list what is valid.
             gState.store(0, std::memory_order_relaxed);
             throw DtcError(ErrorCode::InvalidInput,
-                           "DTC_FAULT nth must be >= 1: " + one,
+                           "DTC_FAULT names unknown site \"" + site +
+                               "\"; valid sites: " +
+                               validFaultSiteList(),
                            {.component = "fault"});
+        }
+        SiteState& st = registry()[site];
+        st.spec.site = site;
+        try {
+            st.spec.nth =
+                env::parseInt64(one.substr(c1 + 1, c2 - c1 - 1),
+                                "DTC_FAULT nth", 1, INT64_MAX);
+            st.spec.code = parseErrorCode(one.substr(c2 + 1));
+        } catch (...) {
+            gState.store(0, std::memory_order_relaxed);
+            throw;
         }
         st.armed = true;
         st.serialHits = 0;
@@ -147,6 +161,11 @@ arm(const std::string& site, int64_t nth, ErrorCode code)
 {
     DTC_CHECK_CODE(nth >= 1, ErrorCode::InvalidInput,
                    "fault nth must be >= 1, got " << nth);
+    DTC_CHECK_CODE(isValidFaultSite(site), ErrorCode::InvalidInput,
+                   "unknown fault site \""
+                       << site << "\"; valid sites: "
+                       << validFaultSiteList()
+                       << " (or a test./bench. prefix)");
     std::lock_guard<std::mutex> lk(detail::gMu);
     detail::SiteState& st = detail::registry()[site];
     st.spec = {site, nth, code};
@@ -176,7 +195,8 @@ armFromSpec(const std::string& spec)
                        "fault spec entry is not <site>:<nth>:<code>: "
                            << one);
         const int64_t nth =
-            std::strtoll(one.substr(c1 + 1).c_str(), nullptr, 10);
+            env::parseInt64(one.substr(c1 + 1, c2 - c1 - 1),
+                            "fault spec nth", 1, INT64_MAX);
         arm(one.substr(0, c1), nth,
             parseErrorCode(one.substr(c2 + 1)));
     }

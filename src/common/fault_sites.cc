@@ -1,0 +1,54 @@
+#include "common/fault_sites.h"
+
+#include <algorithm>
+
+namespace dtc {
+namespace fault {
+
+const std::vector<std::string>&
+allFaultSites()
+{
+    static const std::vector<std::string> kSites = [] {
+        std::vector<std::string> s = {
+            sites::kMmIoRead,
+            sites::kSerializeReadArray,
+            sites::kSgtCondenseChunk,
+            sites::kMeTcfConvert,
+            sites::kTunerPrepare,
+            sites::kSelectorDecide,
+            sites::kTrainerStep,
+            sites::kTrainerEpochEnd,
+            sites::kTrainerCheckpointWrite,
+            sites::kTrainerCheckpointRename,
+            sites::kRuntimeCompute,
+            sites::kRuntimeGuardCheck,
+        };
+        std::sort(s.begin(), s.end());
+        return s;
+    }();
+    return kSites;
+}
+
+bool
+isValidFaultSite(const std::string& site)
+{
+    if (site.rfind("test.", 0) == 0 || site.rfind("bench.", 0) == 0)
+        return true;
+    const std::vector<std::string>& all = allFaultSites();
+    return std::binary_search(all.begin(), all.end(), site);
+}
+
+std::string
+validFaultSiteList()
+{
+    std::string out;
+    for (const std::string& s : allFaultSites()) {
+        if (!out.empty())
+            out += ", ";
+        out += s;
+    }
+    return out;
+}
+
+} // namespace fault
+} // namespace dtc

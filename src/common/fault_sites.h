@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Central registry of fault-injection site names.
+ *
+ * DTC_FAULT_POINT sites used to be string literals scattered across
+ * call sites; a typo in a test's fault::arm() (or in a DTC_FAULT env
+ * spec) armed a site that no code would ever hit, and the "injected"
+ * failure silently never fired.  Every real site now has exactly one
+ * constant here; call sites reference the constant, arm()/DTC_FAULT
+ * reject names that are not registered (listing the valid ones), and
+ * tests/test_fault.cc enumerates allFaultSites() with a per-site
+ * driver so an orphaned registration can never go un-exercised.
+ *
+ * Ad-hoc sites for unit tests and benchmarks use the "test." /
+ * "bench." prefixes, which are exempt from registration (they name
+ * probes in test code, not failure-capable library sites).
+ */
+#ifndef DTC_COMMON_FAULT_SITES_H
+#define DTC_COMMON_FAULT_SITES_H
+
+#include <string>
+#include <vector>
+
+namespace dtc {
+namespace fault {
+namespace sites {
+
+// Preprocessing / IO pipeline (PR 2).
+inline constexpr char kMmIoRead[] = "mm_io.read";
+inline constexpr char kSerializeReadArray[] = "serialize.read_array";
+inline constexpr char kSgtCondenseChunk[] = "sgt.condense.chunk";
+inline constexpr char kMeTcfConvert[] = "me_tcf.convert";
+inline constexpr char kTunerPrepare[] = "tuner.prepare";
+inline constexpr char kSelectorDecide[] = "selector.decide";
+
+// GNN training loop.
+inline constexpr char kTrainerStep[] = "trainer.step";
+inline constexpr char kTrainerEpochEnd[] = "trainer.epoch_end";
+inline constexpr char kTrainerCheckpointWrite[] =
+    "trainer.checkpoint.write";
+inline constexpr char kTrainerCheckpointRename[] =
+    "trainer.checkpoint.rename";
+
+// Resilient runtime (src/runtime/).
+inline constexpr char kRuntimeCompute[] = "runtime.compute";
+inline constexpr char kRuntimeGuardCheck[] = "runtime.guard.check";
+
+} // namespace sites
+
+/** Every registered library fault site, sorted. */
+const std::vector<std::string>& allFaultSites();
+
+/**
+ * True when @p site may be armed: either registered above, or an
+ * ad-hoc "test." / "bench."-prefixed probe.
+ */
+bool isValidFaultSite(const std::string& site);
+
+/** Comma-separated registry listing for error messages. */
+std::string validFaultSiteList();
+
+} // namespace fault
+} // namespace dtc
+
+#endif // DTC_COMMON_FAULT_SITES_H

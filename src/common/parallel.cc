@@ -5,7 +5,9 @@
 #include <exception>
 #include <limits>
 
+#include "common/cancel.h"
 #include "common/check.h"
+#include "common/env.h"
 
 namespace dtc {
 
@@ -152,12 +154,11 @@ int
 defaultNumThreads()
 {
     // Re-read the environment on every call so tests and tools can
-    // toggle DTC_NUM_THREADS without touching pool state.
-    if (const char* env = std::getenv("DTC_NUM_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1 && v <= 1024)
-            return static_cast<int>(v);
-    }
+    // toggle DTC_NUM_THREADS without touching pool state.  Garbage
+    // or out-of-range values raise a typed InvalidInput instead of
+    // silently falling back to hardware concurrency.
+    if (auto v = env::readInt64("DTC_NUM_THREADS", 1, 1024))
+        return static_cast<int>(*v);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
@@ -198,11 +199,18 @@ parallelFor(int64_t begin, int64_t end, int64_t grain,
     const int64_t num_chunks = (end - begin + g - 1) / g;
     const int threads = currentNumThreads();
 
+    // The submitting thread's cancel token rides into every chunk,
+    // polled at each chunk boundary — the cooperative abort point of
+    // runWithDeadline (common/cancel.h).
+    CancelToken* tok = cancel::current();
+
     // Serial fallback: one thread requested, a single chunk, or a
     // nested call from inside a pool task (which would deadlock the
     // single-job pool).  Chunk boundaries are identical either way.
     if (threads <= 1 || num_chunks == 1 || ThreadPool::insideTask()) {
         for (int64_t c = 0; c < num_chunks; ++c) {
+            if (tok)
+                tok->check();
             const int64_t b = begin + c * g;
             ChunkOrdinalScope scope(c);
             body(b, std::min(b + g, end));
@@ -223,6 +231,9 @@ parallelFor(int64_t begin, int64_t end, int64_t grain,
             return;
         const int64_t b = begin + c * g;
         try {
+            cancel::ScopedCancel cancel_scope(tok);
+            if (tok)
+                tok->check();
             ChunkOrdinalScope scope(c);
             body(b, std::min(b + g, end));
         } catch (...) {

@@ -75,6 +75,17 @@ class Rng
     Rng fork() { return Rng(next64() ^ 0xda3e39cb94b95bdbull); }
 
     /**
+     * Raw generator state, for checkpointing.  Restoring the bits
+     * with setStateBits() resumes the exact same stream — the pair
+     * exists so crash-safe training checkpoints can capture the RNG
+     * cursor and replay bitwise-identically.
+     */
+    uint64_t stateBits() const { return state; }
+
+    /** Restores a state captured with stateBits(). */
+    void setStateBits(uint64_t bits) { state = bits; }
+
+    /**
      * Returns the @p index-th derived sub-stream WITHOUT advancing
      * this generator.  This is the parallel-safe way to randomize a
      * parallelFor body: fork one stream per chunk (or per case) from

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "engine/engine.h"
 #include "engine/prepared_dense.h"
@@ -22,6 +23,9 @@ spmmCsrRounded(int64_t rows, const int64_t* row_ptr,
     parallelFor(0, rows, grain, [&](int64_t r_lo, int64_t r_hi) {
         const int64_t pw = panelCols(n);
         for (int64_t j0 = 0; j0 < n; j0 += pw) {
+            // Deadline poll per (chunk, panel): even one huge chunk
+            // cannot stall a runWithDeadline past a single panel.
+            cancel::poll();
             const int64_t pn = std::min(pw, n - j0);
             for (int64_t r = r_lo; r < r_hi; ++r) {
                 float* __restrict crow = c.row(r) + j0;
@@ -48,6 +52,7 @@ spmmCsrDoubleAcc(int64_t rows, const int64_t* row_ptr,
         const int64_t pw = panelCols(n);
         std::vector<double> acc(static_cast<size_t>(pw));
         for (int64_t j0 = 0; j0 < n; j0 += pw) {
+            cancel::poll();
             const int64_t pn = std::min(pw, n - j0);
             for (int64_t r = r_lo; r < r_hi; ++r) {
                 std::fill(acc.begin(), acc.begin() + pn, 0.0);

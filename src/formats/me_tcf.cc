@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "common/parallel.h"
 #include "matrix/coo.h"
 #include "obs/metrics.h"
@@ -23,7 +24,7 @@ MeTcfMatrix::build(const CsrMatrix& m, TcBlockShape shape)
 {
     DTC_CHECK_MSG(shape.windowHeight * shape.blockWidth <= 256,
                   "TC block too large for 8-bit local ids");
-    DTC_FAULT_POINT("me_tcf.convert");
+    DTC_FAULT_POINT(fault::sites::kMeTcfConvert);
     DTC_TRACE_SCOPE("metcf.convert");
     obs::ScopedTimerMs timer("metcf.convert_ms");
     static obs::Counter& builds =

@@ -8,6 +8,7 @@
 #include "common/budget.h"
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 
 namespace dtc {
 
@@ -176,7 +177,7 @@ class Reader
     std::vector<T>
     vec()
     {
-        DTC_FAULT_POINT("serialize.read_array");
+        DTC_FAULT_POINT(fault::sites::kSerializeReadArray);
         const uint64_t len = pod<uint64_t>();
         // Remaining-byte bound, computed without len*sizeof(T)
         // overflow.

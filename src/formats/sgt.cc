@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
 
@@ -52,7 +53,7 @@ sgtCondense(const CsrMatrix& m, TcBlockShape shape)
         // Per-chunk fault point: fires by deterministic chunk ordinal
         // (common/fault.h), so injected failures here are identical
         // at any thread count.
-        DTC_FAULT_POINT("sgt.condense.chunk");
+        DTC_FAULT_POINT(fault::sites::kSgtCondenseChunk);
         std::vector<int32_t>& out =
             chunk_cols[static_cast<size_t>(w_lo / kWindowGrain)];
         std::vector<int32_t> scratch;

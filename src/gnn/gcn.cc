@@ -80,4 +80,92 @@ GcnLayer::step(float lr)
     std::fill(gradBias.begin(), gradBias.end(), 0.0f);
 }
 
+void
+GcnLayer::stepAdam(float lr, const AdamParams& p, int64_t t)
+{
+    DTC_CHECK_MSG(t >= 1, "Adam timestep must be >= 1, got " << t);
+    if (adamM.rows() != weight.rows() ||
+        adamM.cols() != weight.cols()) {
+        adamM = DenseMatrix(weight.rows(), weight.cols());
+        adamV = DenseMatrix(weight.rows(), weight.cols());
+        adamM.setZero();
+        adamV.setZero();
+        adamMBias.assign(bias.size(), 0.0f);
+        adamVBias.assign(bias.size(), 0.0f);
+    }
+    const float corr1 =
+        1.0f - std::pow(p.beta1, static_cast<float>(t));
+    const float corr2 =
+        1.0f - std::pow(p.beta2, static_cast<float>(t));
+    for (int64_t i = 0; i < weight.rows(); ++i)
+        for (int64_t j = 0; j < weight.cols(); ++j) {
+            const float g = gradWeight.at(i, j);
+            float& m = adamM.at(i, j);
+            float& v = adamV.at(i, j);
+            m = p.beta1 * m + (1.0f - p.beta1) * g;
+            v = p.beta2 * v + (1.0f - p.beta2) * g * g;
+            weight.at(i, j) -=
+                lr * (m / corr1) /
+                (std::sqrt(v / corr2) + p.eps);
+        }
+    for (size_t j = 0; j < bias.size(); ++j) {
+        const float g = gradBias[j];
+        adamMBias[j] = p.beta1 * adamMBias[j] + (1.0f - p.beta1) * g;
+        adamVBias[j] =
+            p.beta2 * adamVBias[j] + (1.0f - p.beta2) * g * g;
+        bias[j] -= lr * (adamMBias[j] / corr1) /
+                   (std::sqrt(adamVBias[j] / corr2) + p.eps);
+    }
+    gradWeight.setZero();
+    std::fill(gradBias.begin(), gradBias.end(), 0.0f);
+}
+
+GcnLayerState
+GcnLayer::saveState() const
+{
+    GcnLayerState s;
+    s.weight = weight;
+    s.bias = bias;
+    s.adamM = adamM;
+    s.adamV = adamV;
+    s.adamMBias = adamMBias;
+    s.adamVBias = adamVBias;
+    return s;
+}
+
+void
+GcnLayer::loadState(const GcnLayerState& s)
+{
+    DTC_CHECK_CODE(s.weight.rows() == weight.rows() &&
+                       s.weight.cols() == weight.cols(),
+                   ErrorCode::InvalidInput,
+                   "checkpoint weight shape "
+                       << s.weight.rows() << "x" << s.weight.cols()
+                       << " does not match layer "
+                       << weight.rows() << "x" << weight.cols());
+    DTC_CHECK_CODE(s.bias.size() == bias.size(),
+                   ErrorCode::InvalidInput,
+                   "checkpoint bias size " << s.bias.size()
+                                           << " does not match layer "
+                                           << bias.size());
+    DTC_CHECK_CODE(
+        s.adamM.size() == 0 ||
+            (s.adamM.rows() == weight.rows() &&
+             s.adamM.cols() == weight.cols() &&
+             s.adamV.rows() == weight.rows() &&
+             s.adamV.cols() == weight.cols() &&
+             s.adamMBias.size() == bias.size() &&
+             s.adamVBias.size() == bias.size()),
+        ErrorCode::InvalidInput,
+        "checkpoint Adam state shape does not match layer");
+    weight = s.weight;
+    bias = s.bias;
+    adamM = s.adamM;
+    adamV = s.adamV;
+    adamMBias = s.adamMBias;
+    adamVBias = s.adamVBias;
+    gradWeight.setZero();
+    std::fill(gradBias.begin(), gradBias.end(), 0.0f);
+}
+
 } // namespace dtc

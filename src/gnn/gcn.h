@@ -25,6 +25,39 @@ namespace dtc {
 
 class Rng;
 
+/**
+ * Optimizer selection for the trainer.  Values are the on-disk
+ * encoding used by runtime/checkpoint.cc — do not renumber.
+ */
+enum class Optimizer : uint32_t
+{
+    Sgd = 0,
+    Adam = 1,
+};
+
+/** Adam hyper-parameters (Kingma & Ba, 2015). */
+struct AdamParams
+{
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+};
+
+/**
+ * Full learnable + optimizer state of one layer, as captured for
+ * crash-safe checkpoints (runtime/checkpoint.h).  Adam moments are
+ * empty (0x0 / size 0) when the layer has only ever stepped with SGD.
+ */
+struct GcnLayerState
+{
+    DenseMatrix weight;
+    std::vector<float> bias;
+    DenseMatrix adamM;
+    DenseMatrix adamV;
+    std::vector<float> adamMBias;
+    std::vector<float> adamVBias;
+};
+
 /** One GraphConv layer with weights, bias and their gradients. */
 class GcnLayer
 {
@@ -60,6 +93,22 @@ class GcnLayer
     /** SGD step with learning rate @p lr; clears gradients. */
     void step(float lr);
 
+    /**
+     * Adam step with bias-corrected moments at 1-based timestep @p t;
+     * clears gradients.  Moment buffers are allocated (zeroed) on the
+     * first call so SGD-only training pays nothing for them.
+     */
+    void stepAdam(float lr, const AdamParams& p, int64_t t);
+
+    /** Copies out the checkpointable state (weights + Adam moments). */
+    GcnLayerState saveState() const;
+
+    /**
+     * Restores state captured by saveState().  Throws
+     * DtcError(InvalidInput) on shape mismatch.
+     */
+    void loadState(const GcnLayerState& s);
+
     const DenseMatrix& weights() const { return weight; }
     const DenseMatrix& weightGrad() const { return gradWeight; }
 
@@ -69,6 +118,12 @@ class GcnLayer
     std::vector<float> bias;
     DenseMatrix gradWeight;
     std::vector<float> gradBias;
+
+    // Adam first/second moments; empty until stepAdam runs.
+    DenseMatrix adamM;
+    DenseMatrix adamV;
+    std::vector<float> adamMBias;
+    std::vector<float> adamVBias;
 
     // Cached forward tensors.
     DenseMatrix aggregated; ///< A x h.

@@ -1,10 +1,13 @@
 #include "gnn/trainer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "common/rng.h"
 #include "gnn/dense_ops.h"
 #include "obs/metrics.h"
@@ -77,7 +80,7 @@ GcnModel::trainStep(const DenseMatrix& x,
                     const std::vector<int32_t>& labels,
                     double* accuracy_out)
 {
-    DTC_FAULT_POINT("trainer.step");
+    DTC_FAULT_POINT(fault::sites::kTrainerStep);
     DenseMatrix probs;
     forward(x, probs);
     if (accuracy_out)
@@ -90,9 +93,76 @@ GcnModel::trainStep(const DenseMatrix& x,
 
     layer2.backward(*spmm, gradLogits, gradH1);
     layer1.backward(*spmm, gradH1, gradX);
-    layer1.step(config.learningRate);
-    layer2.step(config.learningRate);
+    // The step counter advances only once the gradients are complete:
+    // a kernel fault above unwinds with the weights *and* the
+    // optimizer clock untouched, so a retried epoch replays
+    // identically.
+    ++optimizerT;
+    if (config.optimizer == Optimizer::Adam) {
+        layer1.stepAdam(config.learningRate, config.adam, optimizerT);
+        layer2.stepAdam(config.learningRate, config.adam, optimizerT);
+    } else {
+        layer1.step(config.learningRate);
+        layer2.step(config.learningRate);
+    }
     return loss;
+}
+
+std::string
+GcnModel::effectiveCheckpointDir() const
+{
+    if (!config.checkpointDir.empty())
+        return config.checkpointDir;
+    const auto env_dir = env::readString("DTC_CHECKPOINT_DIR");
+    return env_dir ? *env_dir : std::string();
+}
+
+void
+GcnModel::writeCheckpointNow(const std::string& dir,
+                             int64_t epochs_done,
+                             const TrainStats& stats) const
+{
+    std::filesystem::create_directories(dir);
+    runtime::TrainerSnapshot snap;
+    snap.epochsDone = epochs_done;
+    snap.adamT = optimizerT;
+    snap.rngState = initRng.stateBits();
+    snap.optimizer = config.optimizer;
+    snap.loss = stats.loss;
+    snap.accuracy = stats.accuracy;
+    snap.layers.push_back(layer1.saveState());
+    snap.layers.push_back(layer2.saveState());
+    runtime::writeCheckpoint(
+        runtime::checkpointPath(dir, epochs_done), snap);
+}
+
+int64_t
+GcnModel::resumeFrom(const std::string& path)
+{
+    std::string file = path;
+    if (file.empty()) {
+        const std::string dir = effectiveCheckpointDir();
+        if (!dir.empty())
+            file = runtime::latestCheckpoint(dir);
+        if (file.empty())
+            return 0; // nothing to resume — fresh run
+    }
+    const runtime::TrainerSnapshot snap =
+        runtime::readCheckpoint(file);
+    DTC_CHECK_CODE(snap.layers.size() == 2, ErrorCode::InvalidInput,
+                   "checkpoint has " << snap.layers.size()
+                                     << " layers, want 2");
+    DTC_CHECK_CODE(snap.optimizer == config.optimizer,
+                   ErrorCode::InvalidInput,
+                   "checkpoint optimizer does not match the config");
+    layer1.loadState(snap.layers[0]);
+    layer2.loadState(snap.layers[1]);
+    initRng.setStateBits(snap.rngState);
+    optimizerT = snap.adamT;
+    startEpoch = snap.epochsDone;
+    resumedLoss = snap.loss;
+    resumedAccuracy = snap.accuracy;
+    return startEpoch;
 }
 
 TrainStats
@@ -108,7 +178,13 @@ GcnModel::train(const DenseMatrix& x,
     TrainStats stats;
     stats.loss.reserve(static_cast<size_t>(config.epochs));
     stats.accuracy.reserve(static_cast<size_t>(config.epochs));
-    for (int e = 0; e < config.epochs; ++e) {
+    // Resume support: pre-fill history and skip completed epochs so
+    // the returned stats cover the whole run.
+    stats.loss = resumedLoss;
+    stats.accuracy = resumedAccuracy;
+    const std::string ckpt_dir = effectiveCheckpointDir();
+    const int ckpt_every = std::max(1, config.checkpointEvery);
+    for (int64_t e = startEpoch; e < config.epochs; ++e) {
         DTC_TRACE_SCOPE("gnn.epoch");
         epochs.add(1);
         double acc = 0.0;
@@ -133,7 +209,7 @@ GcnModel::train(const DenseMatrix& x,
                     if (remainingCandidates.empty())
                         throw;
                     FallbackEvent ev;
-                    ev.epoch = e;
+                    ev.epoch = static_cast<int>(e);
                     ev.fromKernel = spmm->name();
                     ev.code = err.code();
                     ev.reason = err.what();
@@ -156,6 +232,11 @@ GcnModel::train(const DenseMatrix& x,
         }
         stats.loss.push_back(loss);
         stats.accuracy.push_back(acc);
+        // Crash site: the epoch's work is done but not yet persisted.
+        DTC_FAULT_POINT(fault::sites::kTrainerEpochEnd);
+        if (!ckpt_dir.empty() &&
+            ((e + 1) % ckpt_every == 0 || e + 1 == config.epochs))
+            writeCheckpointNow(ckpt_dir, e + 1, stats);
     }
     if (!stats.loss.empty()) {
         obs::metrics::gauge("gnn.final_loss").set(stats.loss.back());

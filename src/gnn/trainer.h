@@ -20,6 +20,7 @@
 #include "kernels/kernel.h"
 #include "matrix/csr.h"
 #include "matrix/dense.h"
+#include "runtime/checkpoint.h"
 #include "tuner/tuner.h"
 
 namespace dtc {
@@ -32,6 +33,22 @@ struct TrainerConfig
     int epochs = 30;
     float learningRate = 0.05f;
     uint64_t seed = 0x6cafe;
+
+    /** Optimizer; Sgd keeps the historical trainer numerics. */
+    Optimizer optimizer = Optimizer::Sgd;
+
+    /** Adam hyper-parameters (used when optimizer == Adam). */
+    AdamParams adam;
+
+    /**
+     * Crash-safe checkpoint directory; empty defers to
+     * DTC_CHECKPOINT_DIR (unset = checkpointing off).  The directory
+     * is created on first write.
+     */
+    std::string checkpointDir;
+
+    /** Checkpoint every N completed epochs (<= 0 means every 1). */
+    int checkpointEvery = 1;
 };
 
 /** One mid-training kernel replacement (graceful degradation). */
@@ -102,13 +119,39 @@ class GcnModel
      * Trains for cfg.epochs epochs.  With the resilient constructor,
      * kernel failures are absorbed via re-tuning (see above) and
      * reported in TrainStats::fallbacks.
+     *
+     * When a checkpoint directory is configured (cfg.checkpointDir or
+     * DTC_CHECKPOINT_DIR), a crash-safe snapshot is written every
+     * cfg.checkpointEvery completed epochs; after resumeFrom() the
+     * loop continues at the checkpointed epoch and the returned stats
+     * cover the whole run — bitwise identical to an uninterrupted
+     * one.
      */
     TrainStats train(const DenseMatrix& x,
                      const std::vector<int32_t>& labels);
 
+    /**
+     * Restores training state from the checkpoint at @p path (empty =
+     * the latest in the configured directory).  Must be called before
+     * train(); throws DtcError{CorruptData} on a damaged file,
+     * DtcError{InvalidInput} on a model-shape or optimizer mismatch.
+     *
+     * @return epochs already completed (0 when @p path is empty and
+     *         no checkpoint exists yet).
+     */
+    int64_t resumeFrom(const std::string& path = std::string());
+
     const SpmmKernel& kernel() const { return *spmm; }
 
   private:
+    /** checkpointDir > DTC_CHECKPOINT_DIR > "" (off). */
+    std::string effectiveCheckpointDir() const;
+
+    /** Writes the post-epoch snapshot (see runtime/checkpoint.h). */
+    void writeCheckpointNow(const std::string& dir,
+                            int64_t epochs_done,
+                            const TrainStats& stats) const;
+
     /** Tunes over remainingCandidates and binds the winner. */
     void bindTunedKernel();
 
@@ -125,6 +168,12 @@ class GcnModel
     std::unique_ptr<CostModel> costModel;
     std::vector<KernelKind> remainingCandidates;
     KernelKind currentKind = KernelKind::CuSparse;
+
+    // Checkpoint/resume state.
+    int64_t startEpoch = 0;   ///< First epoch train() will run.
+    int64_t optimizerT = 0;   ///< Optimizer steps taken (Adam t).
+    std::vector<double> resumedLoss;     ///< History before resume.
+    std::vector<double> resumedAccuracy; ///< History before resume.
 
     // Scratch tensors reused across steps.
     DenseMatrix h1, logits, gradLogits, gradH1, gradX;

@@ -111,4 +111,16 @@ referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
     });
 }
 
+double
+spmmRowErrorBound(Precision p, int64_t row_len, double row_abs_sum,
+                  double max_abs_b, double safety)
+{
+    // 2^-24 rounded up — the FP32 accumulation epsilon.
+    constexpr double kEps32 = 5.97e-8;
+    const double u = unitRoundoff(p);
+    return safety *
+           (2.0 * u + static_cast<double>(row_len + 8) * kEps32) *
+           row_abs_sum * max_abs_b;
+}
+
 } // namespace dtc

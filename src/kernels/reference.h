@@ -34,6 +34,22 @@ void referenceSpmmRounded(const CsrMatrix& a, const DenseMatrix& b,
 void referenceSpmmTf32(const CsrMatrix& a, const DenseMatrix& b,
                        DenseMatrix& c);
 
+/**
+ * Analytic per-row error bound for one SpMM output row vs the
+ * double-accumulation reference:
+ *
+ *     safety * (2u(p) + (len + 8) * eps32) * rowAbsSum * maxAbsB
+ *
+ * where u(p) is the operand-rounding unit roundoff, len the row's
+ * nonzero count, rowAbsSum = sum_k |a_rk| and maxAbsB the largest
+ * |b| element.  Shared by the conformance oracle (testing/oracle.cc)
+ * and the runtime's online result guard (runtime/guard.cc) so both
+ * judge with identical semantics.
+ */
+double spmmRowErrorBound(Precision p, int64_t row_len,
+                         double row_abs_sum, double max_abs_b,
+                         double safety);
+
 } // namespace dtc
 
 #endif // DTC_KERNELS_REFERENCE_H

@@ -10,6 +10,7 @@
 #include "common/budget.h"
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "obs/metrics.h"
 
 namespace dtc {
@@ -51,7 +52,7 @@ raiseMm(const std::string& msg, int64_t rows = -1, int64_t cols = -1)
 CooMatrix
 readMatrixMarket(std::istream& in)
 {
-    DTC_FAULT_POINT("mm_io.read");
+    DTC_FAULT_POINT(fault::sites::kMmIoRead);
     DTC_TRACE_SCOPE("mm_io.read");
     obs::ScopedTimerMs timer("mm_io.read_ms");
     static obs::Counter& reads =

@@ -1,0 +1,140 @@
+#include "runtime/breaker.h"
+
+#include "obs/metrics.h"
+
+namespace dtc {
+namespace runtime {
+
+namespace {
+
+obs::Counter&
+breakerCounter(const char* event)
+{
+    return obs::metrics::counter(std::string("runtime.breaker.") +
+                                 event);
+}
+
+} // namespace
+
+CircuitBreaker::CircuitBreaker(std::string kernel_name,
+                               BreakerOptions options)
+    : name(std::move(kernel_name)), opt(options)
+{
+}
+
+bool
+CircuitBreaker::allow()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    switch (st) {
+      case State::Closed:
+        return true;
+      case State::Open:
+        if (--rejectionsLeft <= 0) {
+            st = State::HalfOpen;
+            probeInFlight = true;
+            breakerCounter("half_open").add(1);
+            return true; // this caller is the probe
+        }
+        breakerCounter("rejected").add(1);
+        return false;
+      case State::HalfOpen:
+        if (!probeInFlight) {
+            probeInFlight = true;
+            return true;
+        }
+        breakerCounter("rejected").add(1);
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (st == State::HalfOpen) {
+        breakerCounter("closed").add(1);
+    }
+    st = State::Closed;
+    failures = 0;
+    probeInFlight = false;
+}
+
+void
+CircuitBreaker::onFailure()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    obs::metrics::counter("runtime.failures." + name).add(1);
+    if (st == State::HalfOpen) {
+        // The probe failed: straight back to Open, fresh cool-down.
+        st = State::Open;
+        rejectionsLeft = opt.cooldownRejections;
+        probeInFlight = false;
+        breakerCounter("reopened").add(1);
+        return;
+    }
+    if (st == State::Open)
+        return; // failure reported by a forced (breaker-ignoring) run
+    if (++failures >= opt.failureThreshold) {
+        st = State::Open;
+        rejectionsLeft = opt.cooldownRejections;
+        breakerCounter("opened").add(1);
+    }
+}
+
+CircuitBreaker::State
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return st;
+}
+
+int
+CircuitBreaker::consecutiveFailures() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return failures;
+}
+
+void
+CircuitBreaker::reset()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    st = State::Closed;
+    failures = 0;
+    rejectionsLeft = 0;
+    probeInFlight = false;
+}
+
+CircuitBreaker&
+BreakerRegistry::forKernel(const std::string& kernel_name)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = breakers.find(kernel_name);
+    if (it == breakers.end()) {
+        it = breakers
+                 .emplace(kernel_name, std::make_unique<CircuitBreaker>(
+                                           kernel_name, opt))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+BreakerRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    for (auto& [name, b] : breakers)
+        b->reset();
+}
+
+BreakerRegistry&
+BreakerRegistry::global()
+{
+    static BreakerRegistry registry;
+    return registry;
+}
+
+} // namespace runtime
+} // namespace dtc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-kernel circuit breakers.
+ *
+ * A kernel that fails persistently (bad interaction with one matrix
+ * structure, exhausted resources, a latent bug surfaced by DTC_FAULT)
+ * should stop being *tried* — every attempt costs a prepare and a
+ * partial compute before the caller reroutes.  The breaker implements
+ * the classic three-state machine per kernel:
+ *
+ *   Closed    — requests flow; K consecutive failures trip it Open.
+ *   Open      — requests are rejected without touching the kernel;
+ *               the runtime reroutes to the tuner's next-best
+ *               candidate.  After `cooldownRejections` rejected
+ *               probes the breaker half-opens.
+ *   Half-open — exactly one probe request is let through.  Success
+ *               closes the breaker (counters reset); failure re-opens
+ *               it with a fresh cool-down.
+ *
+ * The cool-down is counted in *rejected requests*, not wall-clock —
+ * a deliberate choice so breaker behaviour is deterministic under
+ * DTC_FAULT-driven tests and identical across machine speeds.  Every
+ * transition and rejection is tallied in obs::metrics under
+ * runtime.breaker.{opened,reopened,half_open,closed,rejected} plus
+ * per-kernel failure counters runtime.failures.<kernel>.
+ */
+#ifndef DTC_RUNTIME_BREAKER_H
+#define DTC_RUNTIME_BREAKER_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dtc {
+namespace runtime {
+
+/** Breaker tuning knobs (shared by every kernel's breaker). */
+struct BreakerOptions
+{
+    /** Consecutive failures that trip Closed -> Open (the K). */
+    int failureThreshold = 3;
+
+    /** Rejected requests while Open before half-opening. */
+    int cooldownRejections = 8;
+};
+
+/** One kernel's breaker (see file comment). */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    explicit CircuitBreaker(std::string kernel_name,
+                            BreakerOptions opt = {});
+
+    /**
+     * True when a request may proceed.  In Open state this counts the
+     * rejection toward the cool-down and half-opens when it elapses;
+     * in HalfOpen only the first caller since half-opening gets true.
+     */
+    bool allow();
+
+    /** Reports a successful execution (closes a half-open breaker). */
+    void onSuccess();
+
+    /** Reports a failed execution (may trip or re-open). */
+    void onFailure();
+
+    State state() const;
+
+    /** Consecutive-failure count while Closed (diagnostics). */
+    int consecutiveFailures() const;
+
+    const std::string& kernelName() const { return name; }
+
+    /** Back to a fresh Closed state. */
+    void reset();
+
+  private:
+    mutable std::mutex mu;
+    std::string name;
+    BreakerOptions opt;
+    State st = State::Closed;
+    int failures = 0;         ///< Consecutive failures while Closed.
+    int rejectionsLeft = 0;   ///< Cool-down remaining while Open.
+    bool probeInFlight = false; ///< HalfOpen probe already granted.
+};
+
+/**
+ * Process-wide breaker-per-kernel registry, keyed by kernel display
+ * name.  Entries are never destroyed; references stay valid.
+ */
+class BreakerRegistry
+{
+  public:
+    explicit BreakerRegistry(BreakerOptions opt = {}) : opt(opt) {}
+
+    /** The breaker for @p kernel_name, created Closed on first use. */
+    CircuitBreaker& forKernel(const std::string& kernel_name);
+
+    /** Resets every breaker (tests / between unrelated workloads). */
+    void resetAll();
+
+    /** The process-wide registry used by Runtime by default. */
+    static BreakerRegistry& global();
+
+  private:
+    std::mutex mu;
+    BreakerOptions opt;
+    std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers;
+};
+
+} // namespace runtime
+} // namespace dtc
+
+#endif // DTC_RUNTIME_BREAKER_H

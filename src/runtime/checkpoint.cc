@@ -1,0 +1,327 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/fault_sites.h"
+
+namespace dtc {
+namespace runtime {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'T', 'C', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kVersion = 1;
+
+/** Streaming FNV-1a (same parameters as formats/serialize.cc). */
+class Checksum
+{
+  public:
+    void
+    feed(const void* data, size_t bytes)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (size_t i = 0; i < bytes; ++i) {
+            state ^= p[i];
+            state *= 0x100000001b3ull;
+        }
+    }
+
+    uint64_t value() const { return state; }
+
+  private:
+    uint64_t state = 0xcbf29ce484222325ull;
+};
+
+/** Appends PODs/arrays to an in-memory payload buffer. */
+class PayloadWriter
+{
+  public:
+    template <typename T>
+    void
+    pod(const T& v)
+    {
+        const auto* p = reinterpret_cast<const char*>(&v);
+        buf.insert(buf.end(), p, p + sizeof(T));
+    }
+
+    template <typename T>
+    void
+    vec(const std::vector<T>& v)
+    {
+        pod(static_cast<uint64_t>(v.size()));
+        if (!v.empty()) {
+            const auto* p = reinterpret_cast<const char*>(v.data());
+            buf.insert(buf.end(), p, p + v.size() * sizeof(T));
+        }
+    }
+
+    void
+    matrix(const DenseMatrix& m)
+    {
+        pod(m.rows());
+        pod(m.cols());
+        if (m.size() > 0) {
+            const auto* p = reinterpret_cast<const char*>(m.data());
+            buf.insert(buf.end(), p, p + m.size() * sizeof(float));
+        }
+    }
+
+    const std::vector<char>& bytes() const { return buf; }
+
+  private:
+    std::vector<char> buf;
+};
+
+[[noreturn]] void
+raiseCorrupt(const std::string& path, const char* what,
+             int64_t offset = -1)
+{
+    DTC_RAISE_CTX(ErrorCode::CorruptData,
+                  path << ": " << what,
+                  (ErrorContext{.component = "checkpoint",
+                                .byteOffset = offset}));
+}
+
+/**
+ * Checksum-verified payload reader.  The whole payload is validated
+ * before any field is parsed, so length prefixes can be trusted only
+ * against remaining-byte bounds, never for unchecked allocation.
+ */
+class PayloadReader
+{
+  public:
+    PayloadReader(std::vector<char> payload, const std::string& p)
+        : buf(std::move(payload)), path(p)
+    {
+    }
+
+    template <typename T>
+    T
+    pod()
+    {
+        T v;
+        need(sizeof(T));
+        std::memcpy(&v, buf.data() + pos, sizeof(T));
+        pos += sizeof(T);
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vec()
+    {
+        const uint64_t n = pod<uint64_t>();
+        if (n > (buf.size() - pos) / sizeof(T))
+            raiseCorrupt(path, "array length exceeds payload",
+                         static_cast<int64_t>(pos));
+        std::vector<T> v(static_cast<size_t>(n));
+        if (n > 0) {
+            std::memcpy(v.data(), buf.data() + pos, n * sizeof(T));
+            pos += n * sizeof(T);
+        }
+        return v;
+    }
+
+    DenseMatrix
+    matrix()
+    {
+        const int64_t rows = pod<int64_t>();
+        const int64_t cols = pod<int64_t>();
+        if (rows < 0 || cols < 0 ||
+            (rows > 0 &&
+             static_cast<uint64_t>(cols) >
+                 (buf.size() - pos) / sizeof(float) /
+                     static_cast<uint64_t>(rows)))
+            raiseCorrupt(path, "matrix shape exceeds payload",
+                         static_cast<int64_t>(pos));
+        DenseMatrix m(rows, cols);
+        if (m.size() > 0) {
+            std::memcpy(m.data(), buf.data() + pos,
+                        m.size() * sizeof(float));
+            pos += m.size() * sizeof(float);
+        }
+        return m;
+    }
+
+    bool atEnd() const { return pos == buf.size(); }
+
+  private:
+    void
+    need(size_t bytes)
+    {
+        if (buf.size() - pos < bytes)
+            raiseCorrupt(path, "truncated payload",
+                         static_cast<int64_t>(pos));
+    }
+
+    std::vector<char> buf;
+    std::string path;
+    size_t pos = 0;
+};
+
+} // namespace
+
+void
+writeCheckpoint(const std::string& path, const TrainerSnapshot& snap)
+{
+    PayloadWriter w;
+    w.pod(kVersion);
+    w.pod(snap.epochsDone);
+    w.pod(snap.adamT);
+    w.pod(snap.rngState);
+    w.pod(static_cast<uint32_t>(snap.optimizer));
+    w.vec(snap.loss);
+    w.vec(snap.accuracy);
+    w.pod(static_cast<uint64_t>(snap.layers.size()));
+    for (const GcnLayerState& l : snap.layers) {
+        w.matrix(l.weight);
+        w.vec(l.bias);
+        w.matrix(l.adamM);
+        w.matrix(l.adamV);
+        w.vec(l.adamMBias);
+        w.vec(l.adamVBias);
+    }
+    Checksum sum;
+    sum.feed(w.bytes().data(), w.bytes().size());
+    const uint64_t checksum = sum.value();
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        DTC_CHECK_CODE(out.good(), ErrorCode::InvalidInput,
+                       "cannot open checkpoint temp file " << tmp);
+        out.write(kMagic, sizeof(kMagic));
+        // Crash site: the magic is on disk but the payload is not —
+        // a torn temp file the reader must reject and the rename
+        // must never promote.
+        DTC_FAULT_POINT(fault::sites::kTrainerCheckpointWrite);
+        out.write(w.bytes().data(),
+                  static_cast<std::streamsize>(w.bytes().size()));
+        out.write(reinterpret_cast<const char*>(&checksum),
+                  sizeof(checksum));
+        out.flush();
+        DTC_CHECK_CODE(out.good(), ErrorCode::InvalidInput,
+                       "checkpoint write failed for " << tmp);
+    }
+    // Crash site: temp file complete but not yet promoted; the
+    // previous checkpoint must stay the latest.
+    DTC_FAULT_POINT(fault::sites::kTrainerCheckpointRename);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        DTC_RAISE_CTX(ErrorCode::InvalidInput,
+                      "cannot rename " << tmp << " to " << path,
+                      (ErrorContext{.component = "checkpoint"}));
+    }
+}
+
+TrainerSnapshot
+readCheckpoint(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        raiseCorrupt(path, "cannot open checkpoint file");
+    std::vector<char> all(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (all.size() < sizeof(kMagic) + sizeof(uint64_t) ||
+        std::memcmp(all.data(), kMagic, sizeof(kMagic)) != 0)
+        raiseCorrupt(path, "bad magic: not a DTCCKPT1 file", 0);
+
+    const size_t payload_len =
+        all.size() - sizeof(kMagic) - sizeof(uint64_t);
+    std::vector<char> payload(
+        all.begin() + sizeof(kMagic),
+        all.begin() + static_cast<int64_t>(sizeof(kMagic) +
+                                           payload_len));
+    uint64_t stored = 0;
+    std::memcpy(&stored, all.data() + sizeof(kMagic) + payload_len,
+                sizeof(stored));
+    Checksum sum;
+    sum.feed(payload.data(), payload.size());
+    if (sum.value() != stored)
+        raiseCorrupt(path, "checksum mismatch");
+
+    PayloadReader r(std::move(payload), path);
+    const uint32_t version = r.pod<uint32_t>();
+    if (version != kVersion)
+        raiseCorrupt(path, "unsupported checkpoint version");
+    TrainerSnapshot snap;
+    snap.epochsDone = r.pod<int64_t>();
+    snap.adamT = r.pod<int64_t>();
+    snap.rngState = r.pod<uint64_t>();
+    const uint32_t opt = r.pod<uint32_t>();
+    if (opt > static_cast<uint32_t>(Optimizer::Adam))
+        raiseCorrupt(path, "unknown optimizer id");
+    snap.optimizer = static_cast<Optimizer>(opt);
+    snap.loss = r.vec<double>();
+    snap.accuracy = r.vec<double>();
+    const uint64_t layers = r.pod<uint64_t>();
+    if (layers > 1024)
+        raiseCorrupt(path, "implausible layer count");
+    snap.layers.reserve(static_cast<size_t>(layers));
+    for (uint64_t i = 0; i < layers; ++i) {
+        GcnLayerState l;
+        l.weight = r.matrix();
+        l.bias = r.vec<float>();
+        l.adamM = r.matrix();
+        l.adamV = r.matrix();
+        l.adamMBias = r.vec<float>();
+        l.adamVBias = r.vec<float>();
+        snap.layers.push_back(std::move(l));
+    }
+    if (!r.atEnd())
+        raiseCorrupt(path, "trailing bytes after snapshot");
+    return snap;
+}
+
+std::string
+checkpointPath(const std::string& dir, int64_t epochs_done)
+{
+    DTC_CHECK_MSG(epochs_done >= 0,
+                  "epochs_done must be >= 0, got " << epochs_done);
+    std::ostringstream os;
+    os << dir << "/ckpt-" << std::setw(6) << std::setfill('0')
+       << epochs_done << ".dtc";
+    return os.str();
+}
+
+std::string
+latestCheckpoint(const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return std::string();
+    std::string best;
+    int64_t best_epoch = -1;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        const std::string name = entry.path().filename().string();
+        constexpr const char* kPrefix = "ckpt-";
+        constexpr const char* kSuffix = ".dtc";
+        if (name.size() <= 5 + 4 || name.rfind(kPrefix, 0) != 0 ||
+            name.compare(name.size() - 4, 4, kSuffix) != 0)
+            continue;
+        const std::string digits = name.substr(5, name.size() - 9);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") !=
+                std::string::npos)
+            continue;
+        const int64_t epoch = std::stoll(digits);
+        if (epoch > best_epoch) {
+            best_epoch = epoch;
+            best = entry.path().string();
+        }
+    }
+    return best;
+}
+
+} // namespace runtime
+} // namespace dtc

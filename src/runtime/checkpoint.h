@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Crash-safe training checkpoints.
+ *
+ * A checkpoint is one self-validating binary file holding everything
+ * needed to resume training bitwise-identically: epochs completed,
+ * the RNG cursor, the optimizer timestep, per-epoch loss/accuracy
+ * history, and every layer's weights, bias, and Adam moments.
+ *
+ * Crash safety comes from the same discipline as formats/serialize:
+ * magic + version + trailing FNV-1a checksum over the payload, and a
+ * write protocol of temp file -> flush -> atomic std::rename.  A
+ * crash mid-write leaves at worst a stale "*.tmp" file; the previous
+ * checkpoint (and anything latestCheckpoint() can see) is never in a
+ * half-written state.  Torn or bit-flipped files fail the checksum
+ * and surface as DtcError{CorruptData}.
+ *
+ * Fault sites trainer.checkpoint.write / trainer.checkpoint.rename
+ * let tests inject a crash at both dangerous moments.
+ */
+#ifndef DTC_RUNTIME_CHECKPOINT_H
+#define DTC_RUNTIME_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gnn/gcn.h"
+
+namespace dtc {
+namespace runtime {
+
+/** Everything needed to resume a training run (see file comment). */
+struct TrainerSnapshot
+{
+    int64_t epochsDone = 0;  ///< Completed epochs (resume start).
+    int64_t adamT = 0;       ///< Optimizer steps taken so far.
+    uint64_t rngState = 0;   ///< Weight-init Rng cursor (stateBits).
+    Optimizer optimizer = Optimizer::Sgd;
+    std::vector<double> loss;     ///< Per-epoch history so far.
+    std::vector<double> accuracy; ///< Per-epoch history so far.
+    std::vector<GcnLayerState> layers; ///< In forward order.
+};
+
+/**
+ * Writes @p snap to @p path via temp-file + checksum + atomic rename.
+ * Throws DtcError on I/O failure; never leaves @p path half-written.
+ */
+void writeCheckpoint(const std::string& path,
+                     const TrainerSnapshot& snap);
+
+/**
+ * Reads a checkpoint written by writeCheckpoint().  Throws
+ * DtcError{CorruptData} on bad magic, torn payload, or checksum
+ * mismatch.
+ */
+TrainerSnapshot readCheckpoint(const std::string& path);
+
+/** Canonical file name: <dir>/ckpt-<epochs_done, 6 digits>.dtc. */
+std::string checkpointPath(const std::string& dir,
+                           int64_t epochs_done);
+
+/**
+ * Path of the highest-epoch "ckpt-*.dtc" in @p dir, or "" when the
+ * directory is missing or holds none.  Stale "*.tmp" files from a
+ * crashed writer are ignored.
+ */
+std::string latestCheckpoint(const std::string& dir);
+
+} // namespace runtime
+} // namespace dtc
+
+#endif // DTC_RUNTIME_CHECKPOINT_H

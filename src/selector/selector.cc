@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "gpusim/scheduler.h"
 #include "obs/metrics.h"
 
@@ -13,7 +14,7 @@ SelectorDecision
 selectKernel(const std::vector<int64_t>& blocks_per_window,
              const ArchSpec& arch, double threshold)
 {
-    DTC_FAULT_POINT("selector.decide");
+    DTC_FAULT_POINT(fault::sites::kSelectorDecide);
     DTC_TRACE_SCOPE("selector.decide");
     obs::ScopedTimerMs timer("selector.decide_ms");
     static obs::Counter& decisions =

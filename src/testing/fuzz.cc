@@ -8,8 +8,13 @@
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/fault_sites.h"
+#include "common/rng.h"
 #include "formats/serialize.h"
+#include "gpusim/arch.h"
+#include "gpusim/cost_model.h"
 #include "matrix/mm_io.h"
+#include "runtime/runtime.h"
 #include "testing/generators.h"
 #include "testing/properties.h"
 
@@ -183,6 +188,91 @@ runTimedCampaign(const FuzzOptions& opt, double minutes,
         family_idx = (family_idx + 1) % families.size();
         if (family_idx == 0)
             ++seed;
+    }
+    return stats;
+}
+
+FuzzStats
+runSoakCampaign(const FuzzOptions& opt, int64_t rounds,
+                uint64_t base_seed)
+{
+    FuzzStats stats;
+    const CostModel cm(ArchSpec::rtx4090());
+    const auto& families = allStructureFamilies();
+    const std::vector<std::string>& sites = fault::allFaultSites();
+    const ErrorCode codes[] = {ErrorCode::ResourceExhausted,
+                               ErrorCode::Internal,
+                               ErrorCode::CorruptData};
+    for (int64_t round = 0; round < rounds; ++round) {
+        // One independent seeded scenario per round: a structure
+        // family, a fault site/ordinal/code, a deadline (counted in
+        // cancellation polls, so the round terminates without any
+        // wall-clock dependence), and the guard on or off.
+        Rng r(base_seed + static_cast<uint64_t>(round) * 0x9e3779b9ull);
+        const StructureFamily family =
+            families[r.nextBounded(families.size())];
+        const uint64_t seed = 1 + r.nextBounded(1u << 20);
+        const std::string& site = sites[r.nextBounded(sites.size())];
+        const int64_t nth =
+            1 + static_cast<int64_t>(r.nextBounded(4));
+        const ErrorCode code = codes[r.nextBounded(3)];
+        runtime::RuntimeOptions ropt;
+        ropt.deadlineMs = 0; // deterministic: polls, not wall-clock
+        if (r.nextBounded(4) != 0)
+            ropt.deadlineChecks =
+                1 + static_cast<int64_t>(r.nextBounded(256));
+        ropt.guard.sampleFraction =
+            r.nextBounded(2) != 0 ? 0.05 : 0.0;
+
+        std::ostringstream scen;
+        scen << "soak round=" << round << " family="
+             << structureFamilyName(family) << " seed=" << seed
+             << " fault=" << site << ":" << nth << ":"
+             << errorCodeName(code)
+             << " deadlineChecks=" << ropt.deadlineChecks
+             << " guard=" << ropt.guard.sampleFraction;
+
+        ++stats.cases;
+        ++stats.faultRuns;
+        try {
+            fault::ScopedFault f(site, nth, code);
+            const CsrMatrix a =
+                generateStructure(family, seed, opt.scale);
+            const DenseMatrix b =
+                makeDenseOperand(a.cols(), opt.denseWidth, seed);
+            DenseMatrix c(a.rows(), b.cols());
+            runtime::RunReport rep;
+            runtime::Runtime rt(a, cm, ropt);
+            rt.run(b, c, &rep);
+            // The run completed, so the result must be correct: the
+            // fault and the deadline may delay or reroute a request,
+            // never corrupt it.
+            const std::string verdict =
+                judgeResult(a, b, c, rep.precision,
+                            /*bit_exact=*/false,
+                            /*tolerance_safety=*/8.0);
+            if (verdict.empty()) {
+                ++stats.passes;
+                logLine(opt,
+                        scen.str() + " -> ok kernel=" + rep.kernel);
+            } else {
+                ++stats.failures;
+                stats.failureLines.push_back(
+                    scen.str() + " -> silent corruption: " + verdict);
+                logLine(opt, stats.failureLines.back());
+            }
+        } catch (const DtcError& e) {
+            // A typed error is the contract's other legal outcome.
+            ++stats.passes;
+            logLine(opt, scen.str() + " -> typed " +
+                             errorCodeName(e.code()));
+        } catch (const std::exception& e) {
+            ++stats.failures;
+            stats.failureLines.push_back(
+                scen.str() +
+                " -> untyped exception: " + std::string(e.what()));
+            logLine(opt, stats.failureLines.back());
+        }
     }
     return stats;
 }

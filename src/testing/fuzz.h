@@ -120,6 +120,20 @@ FuzzStats runTimedCampaign(const FuzzOptions& opt, double minutes,
                            uint64_t base_seed = 1000);
 
 /**
+ * Resilience soak: @p rounds independent seeded scenarios driving
+ * the resilient runtime (runtime/runtime.h) with one armed fault,
+ * a randomized-but-deterministic deadline (counted in cancellation
+ * polls, so every round terminates without wall-clock dependence),
+ * and the result guard randomly on or off.  Asserts the
+ * typed-error-or-correct contract: each round either completes with
+ * an oracle-verified result or throws a typed DtcError — silent
+ * corruption or an untyped escape is a failure.  Deterministic for a
+ * given (@p rounds, @p base_seed, opt.scale, opt.denseWidth).
+ */
+FuzzStats runSoakCampaign(const FuzzOptions& opt, int64_t rounds,
+                          uint64_t base_seed = 5000);
+
+/**
  * Metamorphic property sweep (reorder invariance, linearity, scalar
  * scaling, serialize round trip) over every family at @p opt.seeds.
  */

@@ -19,9 +19,6 @@ namespace testing {
 
 namespace {
 
-/** FP32 epsilon used in the accumulation term of the error bound. */
-constexpr double kEps32 = 5.97e-8; // 2^-24, rounded up
-
 uint32_t
 floatBits(float x)
 {
@@ -87,13 +84,13 @@ judgeAgainst(CaseRefs& refs, const DenseMatrix& got, Precision p,
         return os.str();
     }
 
-    // (a) precision-aware tolerance vs the double-accumulation truth.
-    const double u = unitRoundoff(p);
+    // (a) precision-aware tolerance vs the double-accumulation truth
+    // (bound shared with the runtime guard — see reference.h).
     for (int64_t r = 0; r < a.rows(); ++r) {
         const int64_t len = a.rowPtr()[r + 1] - a.rowPtr()[r];
-        const double tol =
-            safety * (2.0 * u + static_cast<double>(len + 8) * kEps32) *
-            refs.rowAbsSum[static_cast<size_t>(r)] * refs.maxAbsB;
+        const double tol = spmmRowErrorBound(
+            p, len, refs.rowAbsSum[static_cast<size_t>(r)],
+            refs.maxAbsB, safety);
         for (int64_t j = 0; j < b.cols(); ++j) {
             const double g = got.at(r, j);
             const double want = refs.refDouble.at(r, j);

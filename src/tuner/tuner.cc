@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "formats/convert_cost.h"
 #include "obs/metrics.h"
 
@@ -26,6 +27,16 @@ TuneResult::best() const
         os << "; " << e.name << ": " << e.reason;
     throw DtcError(ErrorCode::Unsupported, os.str(),
                    ErrorContext{.component = "tuner"});
+}
+
+std::vector<TuneEntry>
+TuneResult::supportedEntries() const
+{
+    std::vector<TuneEntry> out;
+    for (const TuneEntry& e : entries)
+        if (e.supported)
+            out.push_back(e);
+    return out;
 }
 
 std::vector<KernelKind>
@@ -83,7 +94,7 @@ evaluateCandidate(KernelKind kind, const CsrMatrix& m,
         obs::metrics::counter("tuner.refusals");
     evaluated.add(1);
     try {
-        DTC_FAULT_POINT("tuner.prepare");
+        DTC_FAULT_POINT(fault::sites::kTunerPrepare);
         auto kernel = makeKernel(kind);
         const Refusal r = kernel->prepare(m);
         if (!r.ok()) {

@@ -76,6 +76,13 @@ struct TuneResult
      * even the fallback was refused.
      */
     const TuneEntry& best() const;
+
+    /**
+     * The supported entries in rank order (best first; possibly
+     * empty).  This is the reroute chain the resilient runtime walks
+     * when a kernel fails or its breaker is open.
+     */
+    std::vector<TuneEntry> supportedEntries() const;
 };
 
 /** Default candidate set for general SpMM. */

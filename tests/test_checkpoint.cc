@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Tests for crash-safe training checkpoints: snapshot roundtrip,
+ * corruption detection, the temp-file + atomic-rename crash protocol
+ * under injected faults, and trainer resume-equivalence — a run
+ * crashed mid-training and resumed must finish bitwise identical to
+ * an uninterrupted one.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/fault_sites.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "gnn/trainer.h"
+#include "kernels/kernel.h"
+#include "runtime/checkpoint.h"
+
+namespace dtc {
+namespace {
+
+namespace fs = std::filesystem;
+using runtime::checkpointPath;
+using runtime::latestCheckpoint;
+using runtime::readCheckpoint;
+using runtime::TrainerSnapshot;
+using runtime::writeCheckpoint;
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::disarmAll();
+        dir = fs::path(::testing::TempDir()) /
+              ("dtc_ckpt_" +
+               std::string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name()));
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    void
+    TearDown() override
+    {
+        fault::disarmAll();
+        fs::remove_all(dir);
+    }
+
+    std::string
+    path(int64_t epoch) const
+    {
+        return checkpointPath(dir.string(), epoch);
+    }
+
+    fs::path dir;
+};
+
+/** A snapshot with every field populated, incl. Adam moments. */
+TrainerSnapshot
+sampleSnapshot()
+{
+    TrainerSnapshot s;
+    s.epochsDone = 7;
+    s.adamT = 7;
+    s.rngState = 0xdeadbeefcafef00dull;
+    s.optimizer = Optimizer::Adam;
+    s.loss = {1.5, 1.2, 0.9};
+    s.accuracy = {0.4, 0.6, 0.8};
+    Rng rng(31);
+    for (int l = 0; l < 2; ++l) {
+        GcnLayerState st;
+        st.weight = DenseMatrix(8, 4);
+        st.adamM = DenseMatrix(8, 4);
+        st.adamV = DenseMatrix(8, 4);
+        for (int64_t i = 0; i < 8; ++i)
+            for (int64_t j = 0; j < 4; ++j) {
+                st.weight.at(i, j) = rng.nextFloat(-1.f, 1.f);
+                st.adamM.at(i, j) = rng.nextFloat(-1.f, 1.f);
+                st.adamV.at(i, j) = rng.nextFloat(0.f, 1.f);
+            }
+        for (int j = 0; j < 4; ++j) {
+            st.bias.push_back(rng.nextFloat(-1.f, 1.f));
+            st.adamMBias.push_back(rng.nextFloat(-1.f, 1.f));
+            st.adamVBias.push_back(rng.nextFloat(0.f, 1.f));
+        }
+        s.layers.push_back(std::move(st));
+    }
+    return s;
+}
+
+void
+expectSnapshotsEqual(const TrainerSnapshot& a,
+                     const TrainerSnapshot& b)
+{
+    EXPECT_EQ(a.epochsDone, b.epochsDone);
+    EXPECT_EQ(a.adamT, b.adamT);
+    EXPECT_EQ(a.rngState, b.rngState);
+    EXPECT_EQ(a.optimizer, b.optimizer);
+    EXPECT_EQ(a.loss, b.loss);
+    EXPECT_EQ(a.accuracy, b.accuracy);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_TRUE(a.layers[i].weight == b.layers[i].weight);
+        EXPECT_EQ(a.layers[i].bias, b.layers[i].bias);
+        EXPECT_TRUE(a.layers[i].adamM == b.layers[i].adamM);
+        EXPECT_TRUE(a.layers[i].adamV == b.layers[i].adamV);
+        EXPECT_EQ(a.layers[i].adamMBias, b.layers[i].adamMBias);
+        EXPECT_EQ(a.layers[i].adamVBias, b.layers[i].adamVBias);
+    }
+}
+
+void
+expectCorrupt(const std::string& p)
+{
+    try {
+        (void)readCheckpoint(p);
+        FAIL() << "should have thrown for " << p;
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+    }
+}
+
+std::vector<char>
+slurp(const std::string& p)
+{
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string& p, const std::vector<char>& bytes)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------
+// Snapshot file format
+// ---------------------------------------------------------------------
+
+TEST_F(CheckpointTest, RoundtripPreservesEveryFieldBitwise)
+{
+    const TrainerSnapshot s = sampleSnapshot();
+    writeCheckpoint(path(7), s);
+    expectSnapshotsEqual(readCheckpoint(path(7)), s);
+    // No stale temp file left behind.
+    EXPECT_FALSE(fs::exists(path(7) + ".tmp"));
+}
+
+TEST_F(CheckpointTest, EmptySnapshotRoundtrips)
+{
+    writeCheckpoint(path(0), TrainerSnapshot{});
+    expectSnapshotsEqual(readCheckpoint(path(0)), TrainerSnapshot{});
+}
+
+TEST_F(CheckpointTest, BitFlipAnywhereIsRejected)
+{
+    writeCheckpoint(path(1), sampleSnapshot());
+    const std::vector<char> good = slurp(path(1));
+    // Flip a byte in the header, the payload middle, and the stored
+    // checksum itself.
+    for (const size_t at :
+         {size_t{2}, good.size() / 2, good.size() - 3}) {
+        std::vector<char> bad = good;
+        bad[at] = static_cast<char>(bad[at] ^ 0x40);
+        spit(path(1), bad);
+        expectCorrupt(path(1));
+    }
+}
+
+TEST_F(CheckpointTest, TruncationAndTrailingBytesAreRejected)
+{
+    writeCheckpoint(path(1), sampleSnapshot());
+    const std::vector<char> good = slurp(path(1));
+
+    std::vector<char> torn(good.begin(),
+                           good.begin() +
+                               static_cast<int64_t>(good.size() / 2));
+    spit(path(1), torn);
+    expectCorrupt(path(1));
+
+    std::vector<char> tail = good;
+    tail.push_back('x'); // breaks the checksum framing
+    spit(path(1), tail);
+    expectCorrupt(path(1));
+}
+
+TEST_F(CheckpointTest, BadMagicAndMissingFileAreRejected)
+{
+    spit(path(1), {'N', 'O', 'T', 'A', 'C', 'K', 'P', 'T', 0, 0, 0,
+                   0, 0, 0, 0, 0});
+    expectCorrupt(path(1));
+    expectCorrupt(path(99)); // never written
+}
+
+TEST_F(CheckpointTest, LatestCheckpointPicksHighestEpoch)
+{
+    EXPECT_EQ(latestCheckpoint((dir / "missing").string()), "");
+    EXPECT_EQ(latestCheckpoint(dir.string()), "");
+    writeCheckpoint(path(2), sampleSnapshot());
+    writeCheckpoint(path(10), sampleSnapshot());
+    writeCheckpoint(path(9), sampleSnapshot());
+    // Stale temp files and unrelated names are ignored.
+    spit(path(99) + ".tmp", {'j', 'u', 'n', 'k'});
+    spit((dir / "notes.txt").string(), {'h', 'i'});
+    EXPECT_EQ(latestCheckpoint(dir.string()), path(10));
+}
+
+// ---------------------------------------------------------------------
+// Crash protocol under injected faults
+// ---------------------------------------------------------------------
+
+TEST_F(CheckpointTest, CrashDuringWriteNeverPromotesTornFile)
+{
+    writeCheckpoint(path(1), sampleSnapshot()); // previous good one
+
+    fault::ScopedFault f(fault::sites::kTrainerCheckpointWrite, 1,
+                         ErrorCode::Internal);
+    TrainerSnapshot next = sampleSnapshot();
+    next.epochsDone = 2;
+    EXPECT_THROW(writeCheckpoint(path(2), next), DtcError);
+
+    // The crash left at worst a torn temp file; epoch 2 was never
+    // promoted and the previous checkpoint is still the latest and
+    // still readable.
+    EXPECT_FALSE(fs::exists(path(2)));
+    EXPECT_EQ(latestCheckpoint(dir.string()), path(1));
+    expectSnapshotsEqual(readCheckpoint(path(1)), sampleSnapshot());
+    if (fs::exists(path(2) + ".tmp"))
+        expectCorrupt(path(2) + ".tmp"); // torn: fails the checksum
+}
+
+TEST_F(CheckpointTest, CrashBeforeRenameKeepsPreviousLatest)
+{
+    writeCheckpoint(path(1), sampleSnapshot());
+
+    fault::ScopedFault f(fault::sites::kTrainerCheckpointRename, 1,
+                         ErrorCode::Internal);
+    TrainerSnapshot next = sampleSnapshot();
+    next.epochsDone = 2;
+    EXPECT_THROW(writeCheckpoint(path(2), next), DtcError);
+
+    // Temp file is complete but was never promoted.
+    EXPECT_FALSE(fs::exists(path(2)));
+    EXPECT_TRUE(fs::exists(path(2) + ".tmp"));
+    EXPECT_EQ(latestCheckpoint(dir.string()), path(1));
+
+    // Retrying the write (fault consumed) succeeds and promotes.
+    writeCheckpoint(path(2), next);
+    EXPECT_EQ(latestCheckpoint(dir.string()), path(2));
+    expectSnapshotsEqual(readCheckpoint(path(2)), next);
+}
+
+// ---------------------------------------------------------------------
+// Trainer resume-equivalence
+// ---------------------------------------------------------------------
+
+struct Task
+{
+    CsrMatrix adj;
+    DenseMatrix x;
+    std::vector<int32_t> labels;
+    int64_t features = 16;
+};
+
+Task
+makeTask()
+{
+    Task t;
+    Rng rng(2024);
+    t.adj = genCommunity(96, 4, 6.0, 0.8, rng);
+    makeClassificationTask(t.adj, t.features, 4, 77, &t.x,
+                           &t.labels);
+    return t;
+}
+
+TrainerConfig
+makeConfig(const std::string& ckpt_dir, Optimizer opt)
+{
+    TrainerConfig cfg;
+    cfg.hidden = 16;
+    cfg.classes = 4;
+    cfg.epochs = 6;
+    cfg.seed = 0xfeed;
+    cfg.optimizer = opt;
+    cfg.checkpointDir = ckpt_dir;
+    return cfg;
+}
+
+GcnModel
+makeModel(const Task& t, const TrainerConfig& cfg)
+{
+    // Fixed-kernel variant: a mid-step fault propagates (no fallback
+    // pool), which is exactly the "crash" the resume drill needs.
+    return GcnModel(t.adj, makeKernel(KernelKind::CuSparse),
+                    t.features, cfg);
+}
+
+/** Stats + final model outputs of an uninterrupted run. */
+struct RunOutcome
+{
+    TrainStats stats;
+    DenseMatrix probs;
+};
+
+RunOutcome
+uninterruptedRun(const Task& t, const TrainerConfig& cfg)
+{
+    GcnModel m = makeModel(t, cfg);
+    RunOutcome out;
+    out.stats = m.train(t.x, t.labels);
+    out.probs = DenseMatrix(t.adj.rows(), cfg.classes);
+    m.forward(t.x, out.probs);
+    return out;
+}
+
+/**
+ * Crashes a fresh run at fault @p site / @p nth, then resumes from
+ * the latest checkpoint with a new model instance and verifies the
+ * completed run is bitwise identical to @p want.
+ */
+void
+crashResumeDrill(const Task& t, const TrainerConfig& cfg,
+                 const RunOutcome& want, const char* site,
+                 int64_t nth)
+{
+    // Phase 1: crash mid-training.
+    {
+        fault::ScopedFault f(site, nth, ErrorCode::Internal);
+        GcnModel m = makeModel(t, cfg);
+        EXPECT_THROW(m.train(t.x, t.labels), DtcError)
+            << site << ":" << nth;
+    }
+    // Phase 2: a new process (modeled by a new model instance)
+    // resumes from whatever survived on disk.
+    GcnModel m = makeModel(t, cfg);
+    const int64_t done = m.resumeFrom();
+    EXPECT_GT(done, 0) << site;
+    EXPECT_LT(done, cfg.epochs) << site;
+    const TrainStats stats = m.train(t.x, t.labels);
+
+    // Bitwise equivalence with the uninterrupted run: full per-epoch
+    // history and the final model's outputs.
+    EXPECT_EQ(stats.loss, want.stats.loss) << site;
+    EXPECT_EQ(stats.accuracy, want.stats.accuracy) << site;
+    DenseMatrix probs(t.adj.rows(), cfg.classes);
+    m.forward(t.x, probs);
+    EXPECT_TRUE(probs == want.probs) << site;
+}
+
+TEST_F(CheckpointTest, ResumeEquivalenceAfterCrashAtEveryCrashPoint)
+{
+    const Task t = makeTask();
+    const RunOutcome want =
+        uninterruptedRun(t, makeConfig((dir / "base").string(),
+                                       Optimizer::Sgd));
+
+    // Three distinct crash points per epoch: mid-step (before the
+    // optimizer applies), mid-checkpoint-write (torn temp file), and
+    // pre-rename (complete but unpromoted temp file).  nth=4 lands
+    // each inside epoch 4 of 6.
+    int run = 0;
+    for (const char* site : {fault::sites::kTrainerStep,
+                             fault::sites::kTrainerCheckpointWrite,
+                             fault::sites::kTrainerCheckpointRename}) {
+        const std::string d =
+            (dir / ("crash" + std::to_string(run++))).string();
+        crashResumeDrill(t, makeConfig(d, Optimizer::Sgd), want,
+                         site, 4);
+    }
+}
+
+TEST_F(CheckpointTest, ResumeEquivalenceCoversAdamMoments)
+{
+    // Same drill under Adam: the moments and the bias-correction
+    // timestep must survive the crash for bitwise equivalence.
+    const Task t = makeTask();
+    const TrainerConfig base =
+        makeConfig((dir / "base").string(), Optimizer::Adam);
+    const RunOutcome want = uninterruptedRun(t, base);
+    crashResumeDrill(t, makeConfig((dir / "crash").string(),
+                                   Optimizer::Adam),
+                     want, fault::sites::kTrainerStep, 3);
+}
+
+TEST_F(CheckpointTest, CheckpointEveryNSkipsIntermediateEpochs)
+{
+    const Task t = makeTask();
+    TrainerConfig cfg =
+        makeConfig((dir / "every3").string(), Optimizer::Sgd);
+    cfg.checkpointEvery = 3;
+    GcnModel m = makeModel(t, cfg);
+    m.train(t.x, t.labels);
+    EXPECT_FALSE(fs::exists(checkpointPath(cfg.checkpointDir, 1)));
+    EXPECT_FALSE(fs::exists(checkpointPath(cfg.checkpointDir, 2)));
+    EXPECT_TRUE(fs::exists(checkpointPath(cfg.checkpointDir, 3)));
+    // The final epoch is always checkpointed.
+    EXPECT_TRUE(fs::exists(checkpointPath(cfg.checkpointDir, 6)));
+}
+
+TEST_F(CheckpointTest, ResumeFromCompletedRunTrainsNothingMore)
+{
+    const Task t = makeTask();
+    const TrainerConfig cfg =
+        makeConfig((dir / "full").string(), Optimizer::Sgd);
+    const RunOutcome want = uninterruptedRun(t, cfg);
+
+    GcnModel m = makeModel(t, cfg);
+    EXPECT_EQ(m.resumeFrom(), cfg.epochs);
+    const TrainStats stats = m.train(t.x, t.labels);
+    EXPECT_EQ(stats.loss, want.stats.loss);
+    EXPECT_EQ(stats.accuracy, want.stats.accuracy);
+}
+
+TEST_F(CheckpointTest, ResumeWithMismatchedOptimizerIsTyped)
+{
+    const Task t = makeTask();
+    {
+        GcnModel m = makeModel(
+            t, makeConfig((dir / "sgd").string(), Optimizer::Sgd));
+        m.train(t.x, t.labels);
+    }
+    GcnModel m = makeModel(
+        t, makeConfig((dir / "sgd").string(), Optimizer::Adam));
+    try {
+        m.resumeFrom();
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+    }
+}
+
+TEST_F(CheckpointTest, ResumeFromNothingStartsFresh)
+{
+    const Task t = makeTask();
+    GcnModel m = makeModel(
+        t, makeConfig((dir / "empty").string(), Optimizer::Sgd));
+    EXPECT_EQ(m.resumeFrom(), 0);
+}
+
+TEST_F(CheckpointTest, CheckpointDirEnvKnobIsHonoured)
+{
+    const Task t = makeTask();
+    const std::string env_dir = (dir / "from_env").string();
+    ASSERT_EQ(setenv("DTC_CHECKPOINT_DIR", env_dir.c_str(), 1), 0);
+    TrainerConfig cfg = makeConfig("", Optimizer::Sgd); // defer to env
+    {
+        GcnModel m = makeModel(t, cfg);
+        m.train(t.x, t.labels);
+    }
+    EXPECT_EQ(latestCheckpoint(env_dir),
+              checkpointPath(env_dir, cfg.epochs));
+    GcnModel m = makeModel(t, cfg);
+    EXPECT_EQ(m.resumeFrom(), cfg.epochs);
+    ASSERT_EQ(unsetenv("DTC_CHECKPOINT_DIR"), 0);
+}
+
+} // namespace
+} // namespace dtc

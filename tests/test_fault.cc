@@ -7,13 +7,17 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/budget.h"
 #include "common/check.h"
+#include "common/env.h"
 #include "common/error.h"
 #include "common/fault.h"
+#include "common/fault_sites.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "datasets/generators.h"
@@ -239,12 +243,12 @@ TEST_F(FaultTest, ScopedFaultDisarmsOnExit)
 TEST_F(FaultTest, ArmFromSpecParsesMultipleEntries)
 {
     fault::armFromSpec(
-        "a.one:2:CorruptData,b.two:1:ResourceExhausted");
+        "test.one:2:CorruptData,test.two:1:ResourceExhausted");
     auto armed = fault::armedFaults();
     ASSERT_EQ(armed.size(), 2u);
-    EXPECT_NO_THROW(DTC_FAULT_POINT("a.one"));
-    EXPECT_THROW(DTC_FAULT_POINT("a.one"), DtcError);
-    EXPECT_THROW(DTC_FAULT_POINT("b.two"), DtcError);
+    EXPECT_NO_THROW(DTC_FAULT_POINT("test.one"));
+    EXPECT_THROW(DTC_FAULT_POINT("test.one"), DtcError);
+    EXPECT_THROW(DTC_FAULT_POINT("test.two"), DtcError);
 }
 
 TEST_F(FaultTest, RejectsMalformedSpecs)
@@ -252,6 +256,137 @@ TEST_F(FaultTest, RejectsMalformedSpecs)
     EXPECT_THROW(fault::armFromSpec("missing-colons"), DtcError);
     EXPECT_THROW(fault::armFromSpec("site:0:Internal"), DtcError);
     EXPECT_THROW(fault::armFromSpec("site:1:Bogus"), DtcError);
+}
+
+// ---------------------------------------------------------------------
+// Central fault-site registry
+// ---------------------------------------------------------------------
+
+TEST(FaultSites, RegistryIsSortedUniqueAndNonEmpty)
+{
+    const std::vector<std::string>& sites = fault::allFaultSites();
+    ASSERT_FALSE(sites.empty());
+    for (size_t i = 1; i < sites.size(); ++i)
+        EXPECT_LT(sites[i - 1], sites[i]);
+    // Spot-check that the constants referenced by call sites are in.
+    EXPECT_NE(std::find(sites.begin(), sites.end(),
+                        fault::sites::kTrainerStep),
+              sites.end());
+    EXPECT_NE(std::find(sites.begin(), sites.end(),
+                        fault::sites::kRuntimeCompute),
+              sites.end());
+    EXPECT_NE(std::find(sites.begin(), sites.end(),
+                        fault::sites::kTrainerCheckpointRename),
+              sites.end());
+}
+
+TEST_F(FaultTest, EveryRegisteredSiteArmsAndIsValid)
+{
+    // Per-site driver: arming each registered site must be accepted
+    // (an orphaned or typo'd registration would throw here), and the
+    // validity predicate must agree with the registry.
+    for (const std::string& site : fault::allFaultSites()) {
+        EXPECT_TRUE(fault::isValidFaultSite(site)) << site;
+        EXPECT_NO_THROW(fault::arm(site, 1, ErrorCode::Internal))
+            << site;
+        fault::disarm(site);
+    }
+}
+
+TEST_F(FaultTest, UnknownSiteIsRejectedListingValidSites)
+{
+    try {
+        fault::arm("no.such.site", 1, ErrorCode::Internal);
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no.such.site"), std::string::npos);
+        // The message teaches the valid vocabulary.
+        EXPECT_NE(what.find("trainer.step"), std::string::npos);
+        EXPECT_NE(what.find("runtime.compute"), std::string::npos);
+    }
+    EXPECT_THROW(fault::armFromSpec("no.such.site:1:Internal"),
+                 DtcError);
+}
+
+TEST_F(FaultTest, TestAndBenchPrefixesAreExemptFromRegistry)
+{
+    EXPECT_TRUE(fault::isValidFaultSite("test.anything.goes"));
+    EXPECT_TRUE(fault::isValidFaultSite("bench.spmm.probe"));
+    EXPECT_FALSE(fault::isValidFaultSite("prod.anything"));
+    EXPECT_NO_THROW(
+        fault::arm("bench.spmm.probe", 1, ErrorCode::Internal));
+    fault::disarm("bench.spmm.probe");
+}
+
+// ---------------------------------------------------------------------
+// Validated env parsing
+// ---------------------------------------------------------------------
+
+TEST(EnvValidation, UnsetAndEmptyReturnNullopt)
+{
+    ASSERT_EQ(unsetenv("DTC_TEST_KNOB"), 0);
+    EXPECT_FALSE(env::readInt64("DTC_TEST_KNOB", 0, 10).has_value());
+    EXPECT_FALSE(
+        env::readDouble("DTC_TEST_KNOB", 0.0, 1.0).has_value());
+    EXPECT_FALSE(env::readString("DTC_TEST_KNOB").has_value());
+    ASSERT_EQ(setenv("DTC_TEST_KNOB", "", 1), 0);
+    EXPECT_FALSE(env::readInt64("DTC_TEST_KNOB", 0, 10).has_value());
+    ASSERT_EQ(unsetenv("DTC_TEST_KNOB"), 0);
+}
+
+TEST(EnvValidation, GarbageNumericsThrowTypedNamingTheVariable)
+{
+    ASSERT_EQ(setenv("DTC_NUM_THREADS", "fuor", 1), 0);
+    try {
+        env::readInt64("DTC_NUM_THREADS", 1, 1024);
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("DTC_NUM_THREADS"), std::string::npos);
+        EXPECT_NE(what.find("fuor"), std::string::npos);
+    }
+    // Trailing garbage and out-of-range are rejected, not truncated.
+    ASSERT_EQ(setenv("DTC_NUM_THREADS", "4x", 1), 0);
+    EXPECT_THROW(env::readInt64("DTC_NUM_THREADS", 1, 1024),
+                 DtcError);
+    ASSERT_EQ(setenv("DTC_NUM_THREADS", "0", 1), 0);
+    EXPECT_THROW(env::readInt64("DTC_NUM_THREADS", 1, 1024),
+                 DtcError);
+    ASSERT_EQ(setenv("DTC_NUM_THREADS", "8", 1), 0);
+    EXPECT_EQ(env::readInt64("DTC_NUM_THREADS", 1, 1024), 8);
+    ASSERT_EQ(unsetenv("DTC_NUM_THREADS"), 0);
+
+    ASSERT_EQ(setenv("DTC_GUARD_SAMPLE", "1%", 1), 0);
+    EXPECT_THROW(env::readDouble("DTC_GUARD_SAMPLE", 0.0, 1.0),
+                 DtcError);
+    ASSERT_EQ(setenv("DTC_GUARD_SAMPLE", "2.0", 1), 0);
+    EXPECT_THROW(env::readDouble("DTC_GUARD_SAMPLE", 0.0, 1.0),
+                 DtcError);
+    ASSERT_EQ(setenv("DTC_GUARD_SAMPLE", "0.25", 1), 0);
+    EXPECT_EQ(env::readDouble("DTC_GUARD_SAMPLE", 0.0, 1.0), 0.25);
+    ASSERT_EQ(unsetenv("DTC_GUARD_SAMPLE"), 0);
+}
+
+TEST_F(FaultTest, EnvUnknownFaultSiteRejectedListingValidSites)
+{
+    ASSERT_EQ(setenv("DTC_FAULT", "bogus.site:1:Internal", 1), 0);
+    try {
+        fault::reloadFromEnv();
+        FAIL() << "should have thrown";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bogus.site"), std::string::npos);
+        EXPECT_NE(what.find("trainer.step"), std::string::npos);
+    }
+    // Garbage nth is a typed error too, not a silent skip.
+    ASSERT_EQ(setenv("DTC_FAULT", "trainer.step:abc:Internal", 1), 0);
+    EXPECT_THROW(fault::reloadFromEnv(), DtcError);
+    ASSERT_EQ(unsetenv("DTC_FAULT"), 0);
+    fault::reloadFromEnv();
 }
 
 TEST_F(FaultTest, EnvReloadArmsFaults)
