@@ -17,11 +17,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/aligned.h"
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "engine/engine.h"
 #include "engine/prepared_dense.h"
+#include "engine/simd/simd.h"
 #include "gpusim/cost_model.h"
 #include "kernels/kernel.h"
 #include "kernels/reference.h"
@@ -305,6 +307,69 @@ BENCHMARK(BM_ReferenceTf32Engine)
     ->Args({512, 0})
     ->Args({512, 1});
 
+// ---- SIMD-off vs SIMD-on sweeps of the vector micro-kernel backend
+// (src/engine/simd/): the engine stays on in both rows; Arg(1) picks
+// Isa::Off (dispatcher bypass, the pre-SIMD inline loops) vs the
+// host's detected ISA.  Outputs are bitwise identical
+// (tests/test_simd.cc), so these rows isolate the vectorization win.
+
+void
+BM_DtcComputeSimd(benchmark::State& state)
+{
+    const CsrMatrix& m = benchMatrix();
+    static std::unique_ptr<SpmmKernel> kernel = [&] {
+        auto k = makeKernel(KernelKind::Dtc);
+        k->prepare(m);
+        return k;
+    }();
+    const int64_t n = state.range(0);
+    engine::ScopedEngineMode mode(true);
+    engine::simd::ScopedSimdMode simd(
+        state.range(1) != 0 ? engine::simd::detectedIsa()
+                            : engine::simd::Isa::Off);
+    Rng rng(3);
+    DenseMatrix b(m.cols(), n);
+    b.fillRandom(rng);
+    DenseMatrix c(m.rows(), n);
+    engine::clearPreparedDenseCache();
+    for (auto _ : state) {
+        kernel->compute(b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * n);
+}
+BENCHMARK(BM_DtcComputeSimd)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+void
+BM_RoundPanelSimd(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    const engine::simd::Kernels& K = engine::simd::kernelsFor(
+        state.range(1) != 0 ? engine::simd::detectedIsa()
+                            : engine::simd::Isa::Off);
+    Rng rng(13);
+    AlignedVector<float> in(static_cast<size_t>(n));
+    AlignedVector<float> out(static_cast<size_t>(n));
+    for (auto& x : in)
+        x = rng.nextFloat(-1.0f, 1.0f);
+    for (auto _ : state) {
+        K.roundPanel(out.data(), in.data(), n, Precision::Tf32);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RoundPanelSimd)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
 void
 BM_RuntimeGuardOverhead(benchmark::State& state)
 {
@@ -395,6 +460,38 @@ smokeCompare(const char* kernel_name, const CsrMatrix& m, int64_t n,
     row.legacyBRoundOps = static_cast<uint64_t>(reps) *
                           static_cast<uint64_t>(m.nnz()) *
                           static_cast<uint64_t>(n);
+    return row;
+}
+
+/**
+ * SIMD-off vs SIMD-on timing in the engine-row shape: the engine is
+ * on for both columns; "off" bypasses the vector dispatcher
+ * (Isa::Off) and "on" runs the host's detected ISA backend.  The
+ * rounding-op columns do not apply; both are 0.
+ */
+template <typename F>
+SmokeRow
+simdSmokeCompare(const char* kernel_name, int64_t n, int reps, F&& fn)
+{
+    SmokeRow row;
+    row.kernel = kernel_name;
+    row.n = n;
+    row.legacyBRoundOps = 0;
+    row.engineBRoundOps = 0;
+    engine::ScopedEngineMode mode(true);
+    {
+        engine::simd::ScopedSimdMode simd(engine::simd::Isa::Off);
+        engine::clearPreparedDenseCache();
+        fn(); // warm-up: touch B/C pages, fill the panel cache
+        row.offMs = bench::timedMs(reps, fn);
+    }
+    {
+        engine::simd::ScopedSimdMode simd(
+            engine::simd::detectedIsa());
+        engine::clearPreparedDenseCache();
+        fn();
+        row.onMs = bench::timedMs(reps, fn);
+    }
     return row;
 }
 
@@ -511,6 +608,15 @@ int
 runEngineSmoke(const std::string& out_path,
                const std::string& metrics_path)
 {
+    // Pin the SIMD backend to the detected ISA for the whole smoke
+    // run: the engine.simd.* counter totals in the metrics snapshot
+    // must not depend on a DTC_SIMD environment override (the CI
+    // DTC_SIMD=off leg runs this binary too), and the definitional
+    // 8-wide counter split already makes AVX2 and AVX-512 hosts
+    // agree.  The simd_off_on rows below still force Isa::Off
+    // locally for their "off" column.
+    engine::simd::ScopedSimdMode simd_pin(
+        engine::simd::detectedIsa());
     Rng rng(1);
     const CsrMatrix m = genCommunity(4096, 16, 16.0, 0.85, rng);
     runPipelinePhases(m);
@@ -534,6 +640,66 @@ runEngineSmoke(const std::string& out_path,
         rows.push_back(smokeCompare(
             "referenceSpmmTf32", m, n, reps,
             [&] { referenceSpmmTf32(m, b, c); }));
+    }
+    // SIMD rows: engine on in both columns, Isa::Off vs detected.
+    // Dense 16x8 blocks on an L2-resident shape give the register-
+    // blocked tileInner path something to chew on.  The axpy-bound
+    // reference row is load/store-bound (compiler-vectorized Off
+    // column already saturates), so the vector win concentrates in
+    // tileInner and roundPanel; its row is kept for coverage, not
+    // headline speedup.
+    {
+        Rng srng(2);
+        const CsrMatrix md = genBlockDiagonal(1024, 16, 1.0, srng);
+        auto dense_kernel = makeKernel(KernelKind::Dtc);
+        if (!dense_kernel->prepare(md).empty()) {
+            std::fprintf(stderr,
+                         "smoke: DTC prepare() refused dense blocks\n");
+            return 1;
+        }
+        Rng brng(128);
+        DenseMatrix b(md.cols(), 128);
+        b.fillRandom(brng);
+        DenseMatrix c(md.rows(), 128);
+        const int simd_reps = 30;
+        rows.push_back(simdSmokeCompare(
+            "DtcKernel::compute simd_off_on", 128, simd_reps,
+            [&] { dense_kernel->compute(b, c); }));
+        rows.push_back(simdSmokeCompare(
+            "referenceSpmmTf32 simd_off_on", 128, simd_reps,
+            [&] { referenceSpmmTf32(md, b, c); }));
+    }
+    {
+        // Raw rounding micro-kernel: one 512-wide panel's worth of
+        // B per call, the PreparedDense hot loop.
+        const int64_t elems = m.cols() * 512;
+        Rng prng(512);
+        AlignedVector<float> pin(static_cast<size_t>(elems));
+        AlignedVector<float> pout(static_cast<size_t>(elems));
+        for (auto& x : pin)
+            x = prng.nextFloat(-1.0f, 1.0f);
+        SmokeRow row;
+        row.kernel = "simd::roundPanel simd_off_on";
+        row.n = 512;
+        row.legacyBRoundOps = 0;
+        row.engineBRoundOps = 0;
+        const int round_reps = 20;
+        {
+            const engine::simd::Kernels& K =
+                engine::simd::kernelsFor(engine::simd::Isa::Off);
+            row.offMs = bench::timedMs(round_reps, [&] {
+                K.roundPanel(pout.data(), pin.data(), elems,
+                             Precision::Tf32);
+            });
+        }
+        {
+            const engine::simd::Kernels& K = engine::simd::kernels();
+            row.onMs = bench::timedMs(round_reps, [&] {
+                K.roundPanel(pout.data(), pin.data(), elems,
+                             Precision::Tf32);
+            });
+        }
+        rows.push_back(row);
     }
     // Resilient-runtime row: the guard tax, gated like the rest.
     rows.push_back(runtimeGuardSmoke(m, 32, reps));

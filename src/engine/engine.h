@@ -66,15 +66,47 @@ class ScopedEngineMode
 
 /**
  * Column-panel width for dense width @p n: the N dimension is
- * processed kPanelCols floats at a time (4 KiB of B row per panel —
- * a handful of B rows plus the window's C slab fit L1, and a whole
- * window's distinct B panel stays L2-resident).  Widths up to
- * 2*kPanelCols run as a single panel: one pass over the index arrays
- * is cheaper than two panels of re-scan.
+ * processed panelColsBase() floats at a time so a row window's C slab
+ * plus the B rows behind it stay cache-resident.  Widths up to
+ * 2*panelColsBase() run as a single panel: one pass over the index
+ * arrays is cheaper than two panels of re-scan.
+ *
+ * Callers on the engine hot paths resolve this once per compute()
+ * call on the calling thread (before parallelFor), so a
+ * ScopedPanelCols override propagates into worker threads via the
+ * captured value.
  */
 int64_t panelCols(int64_t n);
 
-/** Default panel width in floats. */
+/**
+ * The base panel width, resolved strongest-first from: an active
+ * ScopedPanelCols on the calling thread; the DTC_PANEL_COLS knob
+ * (typed, [8, 1M], re-read per call so tests can toggle it); a
+ * one-shot sysconf L2/L3 cache probe rounded down to a multiple of
+ * kJBlock and clamped to [64, 4096] (cached after the first call, and
+ * published as the "engine.panel_cols" gauge); kPanelCols when the
+ * probe is unavailable.  Keeping the width a multiple of kJBlock
+ * keeps the engine.simd.* element counters independent of the panel
+ * split (only the last panel can be partial).
+ */
+int64_t panelColsBase();
+
+/** RAII thread-local panel-width override (tests pin multi-panel
+ * coverage with it regardless of the host's cache size). */
+class ScopedPanelCols
+{
+  public:
+    explicit ScopedPanelCols(int64_t cols);
+    ~ScopedPanelCols();
+
+    ScopedPanelCols(const ScopedPanelCols&) = delete;
+    ScopedPanelCols& operator=(const ScopedPanelCols&) = delete;
+
+  private:
+    int64_t prev;
+};
+
+/** Fallback panel width in floats (pre-probe default). */
 constexpr int64_t kPanelCols = 256;
 
 /** Fixed j-block width of the axpy micro-kernels. */

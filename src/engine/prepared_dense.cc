@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "engine/engine.h"
+#include "engine/simd/simd.h"
 
 namespace dtc {
 namespace engine {
@@ -55,7 +56,7 @@ struct CacheEntry
     Precision prec;
     uint64_t hash;
     uint64_t tick;
-    std::shared_ptr<const std::vector<float>> buf;
+    std::shared_ptr<const AlignedVector<float>> buf;
 };
 
 std::mutex cacheMu;
@@ -66,21 +67,37 @@ std::vector<CacheEntry>& cacheEntries()
 }
 uint64_t cacheTick = 0;
 
-std::shared_ptr<const std::vector<float>>
+std::shared_ptr<const AlignedVector<float>>
 roundDense(const DenseMatrix& b, Precision p)
 {
-    auto buf = std::make_shared<std::vector<float>>(b.size());
+    auto buf = std::make_shared<AlignedVector<float>>(b.size());
     float* out = buf->data();
     const float* in = b.data();
+    // Table resolved on the calling thread (a thread-local
+    // ScopedSimdMode would not reach parallelFor workers).
+    const simd::Kernels& K = simd::kernels();
     parallelFor(0, b.rows(), kRowGrain,
                 [&](int64_t lo, int64_t hi) {
         const int64_t e_lo = lo * b.cols();
         const int64_t e_hi = hi * b.cols();
-        for (int64_t i = e_lo; i < e_hi; ++i)
-            out[i] = roundToPrecision(in[i], p);
+        K.roundPanel(out + e_lo, in + e_lo, e_hi - e_lo, p);
     });
     stats().roundingOps.fetch_add(static_cast<uint64_t>(b.size()),
                                   std::memory_order_relaxed);
+    // roundPanel itself does not book elements (chunk sizes follow
+    // the parallelFor decomposition); count the whole pass here,
+    // definitionally against the fixed 8-wide block, so the
+    // engine.simd.* totals are thread-count independent.
+    const auto total = static_cast<uint64_t>(b.size());
+    if (K.isa == simd::Isa::Scalar) {
+        simd::stats().tailElems.fetch_add(total,
+                                          std::memory_order_relaxed);
+    } else if (K.isa != simd::Isa::Off) {
+        simd::stats().vectorElems.fetch_add(
+            total - total % 8, std::memory_order_relaxed);
+        simd::stats().tailElems.fetch_add(total % 8,
+                                          std::memory_order_relaxed);
+    }
     return buf;
 }
 

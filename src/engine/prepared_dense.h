@@ -26,8 +26,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
+#include "common/aligned.h"
 #include "common/precision.h"
 #include "matrix/dense.h"
 
@@ -62,7 +62,7 @@ class PreparedDense
     bool fromCache() const { return cached; }
 
   private:
-    std::shared_ptr<const std::vector<float>> owned;
+    std::shared_ptr<const AlignedVector<float>> owned;
     const float* base = nullptr;
     int64_t nRows = 0;
     int64_t nCols = 0;

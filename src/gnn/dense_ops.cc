@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "engine/engine.h"
+#include "engine/simd/simd.h"
 
 namespace dtc {
 
@@ -32,6 +33,7 @@ gemm(const DenseMatrix& a, bool transpose_a, const DenseMatrix& b,
         // loop is the same restrict/j-blocked axpy the SpMM kernels
         // use, panel-tiled over N.  Per C element the kk order (and
         // the av == 0 skip) is unchanged — bitwise-identical output.
+        const engine::simd::Kernels& K = engine::simd::kernels();
         const int64_t pw = engine::panelCols(n);
         for (int64_t j0 = 0; j0 < n; j0 += pw) {
             const int64_t pn = std::min(pw, n - j0);
@@ -41,7 +43,7 @@ gemm(const DenseMatrix& a, bool transpose_a, const DenseMatrix& b,
                     const float av = ea(i, kk);
                     if (av == 0.0f)
                         continue;
-                    engine::axpy(crow, b.row(kk) + j0, av, pn);
+                    K.axpy(crow, b.row(kk) + j0, av, pn);
                 }
             }
         }

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include <vector>
+
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/tf32.h"
 #include "engine/engine.h"
 #include "engine/prepared_dense.h"
+#include "engine/simd/simd.h"
 #include "kernels/b_traffic.h"
 #include "obs/metrics.h"
 
@@ -159,9 +162,15 @@ DtcKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
         // unchanged, so outputs match the scalar loop bitwise.
         const engine::PreparedDense pb(b, opts.precision);
         const int64_t tile_elems = wh * bw;
+        // SIMD table and panel width resolved on the calling thread:
+        // ScopedSimdMode / ScopedPanelCols are thread-local and would
+        // not reach parallelFor workers.
+        const engine::simd::Kernels& K = engine::simd::kernels();
+        const int64_t pw = engine::panelCols(n);
         parallelFor(0, format.numWindows(), 16,
                     [&](int64_t w_lo, int64_t w_hi) {
-            const int64_t pw = engine::panelCols(n);
+            std::vector<const float*> brows(
+                static_cast<size_t>(bw));
             for (int64_t j0 = 0; j0 < n; j0 += pw) {
                 const int64_t pn = std::min(pw, n - j0);
                 for (int64_t w = w_lo; w < w_hi; ++w) {
@@ -169,29 +178,35 @@ DtcKernel::compute(const DenseMatrix& b, DenseMatrix& c) const
                          ++blk) {
                         const int64_t t = lanes.denseTileOf[blk];
                         if (t >= 0) {
+                            // Full block: the 16x8 tile inner
+                            // product.  All lanes are real columns
+                            // (100% occupancy), so each B row
+                            // pointer is valid.
                             const float* tile =
                                 lanes.denseTiles.data() +
                                 t * tile_elems;
                             const int32_t* cols =
                                 atob.data() + blk * bw;
-                            for (int64_t i = 0; i < wh; ++i) {
-                                float* crow =
-                                    c.row(w * wh + i) + j0;
-                                const float* trow = tile + i * bw;
-                                for (int64_t l = 0; l < bw; ++l)
-                                    engine::axpy(
-                                        crow,
-                                        pb.row(cols[l]) + j0,
-                                        trow[l], pn);
-                            }
+                            for (int64_t l = 0; l < bw; ++l)
+                                brows[l] = pb.row(cols[l]) + j0;
+                            K.tileInner(c.row(w * wh) + j0,
+                                        c.cols(), tile,
+                                        brows.data(), wh, bw, pn);
                             continue;
                         }
-                        for (int64_t k = tco[blk]; k < tco[blk + 1];
-                             ++k) {
-                            engine::axpy(
+                        // Residue lanes: broadcast-value axpy with a
+                        // software prefetch of the next lane's B row
+                        // (the non-condensed fetch path).
+                        const int64_t k_end = tco[blk + 1];
+                        for (int64_t k = tco[blk]; k < k_end; ++k) {
+                            const float* next_b =
+                                k + 1 < k_end
+                                    ? pb.row(lanes.col[k + 1]) + j0
+                                    : nullptr;
+                            K.axpyPrefetch(
                                 c.row(lanes.row[k]) + j0,
                                 pb.row(lanes.col[k]) + j0,
-                                lanes.val[k], pn);
+                                lanes.val[k], pn, next_b);
                         }
                     }
                 }

@@ -25,6 +25,7 @@
 #ifndef DTC_KERNELS_DTC_H
 #define DTC_KERNELS_DTC_H
 
+#include "common/aligned.h"
 #include "common/precision.h"
 #include "formats/me_tcf.h"
 #include "kernels/kernel.h"
@@ -104,13 +105,13 @@ class DtcKernel : public SpmmKernel
      */
     struct FlatLanes
     {
-        std::vector<int32_t> row;  ///< C row per nonzero.
-        std::vector<int32_t> col;  ///< B row per nonzero.
-        std::vector<float> val;    ///< Value in operand precision.
+        AlignedVector<int32_t> row;  ///< C row per nonzero.
+        AlignedVector<int32_t> col;  ///< B row per nonzero.
+        AlignedVector<float> val;    ///< Value in operand precision.
         /** Per TC block: index into denseTiles, or -1 (sparse path). */
-        std::vector<int64_t> denseTileOf;
+        AlignedVector<int64_t> denseTileOf;
         /** Rounded windowHeight x blockWidth tiles, tile-major. */
-        std::vector<float> denseTiles;
+        AlignedVector<float> denseTiles;
     };
 
     const FlatLanes& flatLanes() const { return lanes; }

@@ -11,7 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "common/aligned.h"
 
 namespace dtc {
 
@@ -70,7 +71,9 @@ class DenseMatrix
   private:
     int64_t nRows = 0;
     int64_t nCols = 0;
-    std::vector<float> buf;
+    /** 64-byte-aligned so SIMD micro-kernels see aligned row bases
+     * whenever nCols is a multiple of 16. */
+    AlignedVector<float> buf;
 };
 
 } // namespace dtc

@@ -31,7 +31,8 @@ artifactStem(StructureFamily family, uint64_t seed,
     std::ostringstream os;
     os << structureFamilyName(family) << "-s" << seed << "-k"
        << static_cast<int>(o.kind) << "-" << precisionName(o.precision)
-       << "-e" << (o.engineOn ? 1 : 0) << "-t" << o.threads;
+       << "-e" << (o.engineOn ? 1 : 0) << "-v" << (o.simdOn ? 1 : 0)
+       << "-t" << o.threads;
     return os.str();
 }
 
@@ -118,15 +119,15 @@ fuzzOneCase(StructureFamily family, uint64_t seed,
     // Shrink the first failing combo and dump a replayable artifact.
     const OracleOutcome& f = *report.firstFailure();
     const auto predicate = [&](const CsrMatrix& m) {
-        return comboFails(f.kind, f.precision, f.engineOn, f.threads,
-                          m, c.denseWidth, c.seed,
+        return comboFails(f.kind, f.precision, f.engineOn, f.simdOn,
+                          f.threads, m, c.denseWidth, c.seed,
                           opt.oracle.toleranceSafety);
     };
     const ShrinkResult shrunk =
         shrinkMatrix(c.a, predicate, opt.shrinkEvaluations);
 
     std::string fresh_detail;
-    comboFails(f.kind, f.precision, f.engineOn, f.threads,
+    comboFails(f.kind, f.precision, f.engineOn, f.simdOn, f.threads,
                shrunk.matrix, c.denseWidth, c.seed,
                opt.oracle.toleranceSafety, &fresh_detail);
 
@@ -146,6 +147,7 @@ fuzzOneCase(StructureFamily family, uint64_t seed,
         info.kind = f.kind;
         info.precision = f.precision;
         info.engineOn = f.engineOn;
+        info.simdOn = f.simdOn;
         info.threads = f.threads;
         info.denseWidth = c.denseWidth;
         info.denseSeed = c.seed;

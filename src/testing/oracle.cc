@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "engine/simd/simd.h"
 #include "gpusim/arch.h"
 #include "gpusim/cost_model.h"
 #include "kernels/reference.h"
@@ -123,12 +124,14 @@ judgeAgainst(CaseRefs& refs, const DenseMatrix& got, Precision p,
 
 OracleOutcome
 judgeCombo(CaseRefs& refs, KernelKind kind, Precision p,
-           bool engine_on, int threads, const OracleConfig& cfg)
+           bool engine_on, bool simd_on, int threads,
+           const OracleConfig& cfg)
 {
     OracleOutcome out;
     out.kind = kind;
     out.precision = p;
     out.engineOn = engine_on;
+    out.simdOn = simd_on;
     out.threads = threads;
 
     std::unique_ptr<SpmmKernel> kernel = makeKernelAt(kind, p);
@@ -139,6 +142,9 @@ judgeCombo(CaseRefs& refs, KernelKind kind, Precision p,
     }
 
     engine::ScopedEngineMode em(engine_on);
+    engine::simd::ScopedSimdMode sm(simd_on
+                                        ? engine::simd::detectedIsa()
+                                        : engine::simd::Isa::Off);
     ScopedNumThreads nt(threads);
     try {
         const Refusal r = kernel->prepare(refs.a);
@@ -185,12 +191,13 @@ judgeCombo(CaseRefs& refs, KernelKind kind, Precision p,
 
 OracleConfig
 OracleConfig::single(KernelKind kind, Precision p, bool engine_on,
-                     int threads)
+                     bool simd_on, int threads)
 {
     OracleConfig cfg;
     cfg.kernels = {kind};
     cfg.precisions = {p};
     cfg.engineModes = {engine_on};
+    cfg.simdModes = {simd_on};
     cfg.threadCounts = {threads};
     return cfg;
 }
@@ -200,7 +207,8 @@ OracleOutcome::describe() const
 {
     std::ostringstream os;
     os << kernelKindName(kind) << " @" << precisionName(precision)
-       << " engine=" << (engineOn ? "on" : "off") << " threads="
+       << " engine=" << (engineOn ? "on" : "off")
+       << " simd=" << (simdOn ? "on" : "off") << " threads="
        << threads;
     switch (status) {
       case Status::Pass:
@@ -265,39 +273,42 @@ runOracle(const OracleCase& c, const OracleConfig& cfg)
     for (KernelKind kind : kinds)
         for (Precision p : cfg.precisions)
             for (bool engine_on : cfg.engineModes)
-                for (int threads : cfg.threadCounts) {
-                    OracleOutcome out = judgeCombo(
-                        refs, kind, p, engine_on, threads, cfg);
-                    switch (out.status) {
-                      case OracleOutcome::Status::Pass:
-                        ++report.passes;
-                        break;
-                      case OracleOutcome::Status::Refused:
-                        ++report.refusals;
-                        break;
-                      case OracleOutcome::Status::Skipped:
-                        ++report.skips;
-                        break;
-                      case OracleOutcome::Status::Failed:
-                        ++report.failures;
-                        break;
+                for (bool simd_on : cfg.simdModes)
+                    for (int threads : cfg.threadCounts) {
+                        OracleOutcome out =
+                            judgeCombo(refs, kind, p, engine_on,
+                                       simd_on, threads, cfg);
+                        switch (out.status) {
+                          case OracleOutcome::Status::Pass:
+                            ++report.passes;
+                            break;
+                          case OracleOutcome::Status::Refused:
+                            ++report.refusals;
+                            break;
+                          case OracleOutcome::Status::Skipped:
+                            ++report.skips;
+                            break;
+                          case OracleOutcome::Status::Failed:
+                            ++report.failures;
+                            break;
+                        }
+                        report.outcomes.push_back(std::move(out));
                     }
-                    report.outcomes.push_back(std::move(out));
-                }
     return report;
 }
 
 bool
-comboFails(KernelKind kind, Precision p, bool engine_on, int threads,
-           const CsrMatrix& a, int64_t dense_width, uint64_t seed,
-           double tolerance_safety, std::string* detail)
+comboFails(KernelKind kind, Precision p, bool engine_on, bool simd_on,
+           int threads, const CsrMatrix& a, int64_t dense_width,
+           uint64_t seed, double tolerance_safety,
+           std::string* detail)
 {
     OracleCase c;
     c.a = a;
     c.denseWidth = dense_width;
     c.seed = seed;
     OracleConfig cfg =
-        OracleConfig::single(kind, p, engine_on, threads);
+        OracleConfig::single(kind, p, engine_on, simd_on, threads);
     cfg.toleranceSafety = tolerance_safety;
     const OracleReport report = runOracle(c, cfg);
     const OracleOutcome* failure = report.firstFailure();

@@ -4,7 +4,8 @@
  *
  * One judgement procedure for every kernel in the registry, swept
  * across the axes that have historically hidden bugs: operand
- * precision (Fp32/Tf32/Bf16/Fp16), engine on/off (ScopedEngineMode)
+ * precision (Fp32/Tf32/Bf16/Fp16), engine on/off (ScopedEngineMode),
+ * SIMD on/off (ScopedSimdMode — detected ISA vs dispatcher bypass)
  * and thread count (ScopedNumThreads).  For each expressible combo the
  * kernel either
  *
@@ -55,6 +56,14 @@ struct OracleConfig
 
     std::vector<bool> engineModes = {true, false};
 
+    /**
+     * SIMD dispatcher sweep: true pins the detected ISA backend,
+     * false bypasses the dispatcher entirely (Isa::Off — the
+     * pre-SIMD inline loops).  Bitwise identity between the two is
+     * part of the conformance contract.
+     */
+    std::vector<bool> simdModes = {true, false};
+
     std::vector<int> threadCounts = {1, 4, 8};
 
     /** Multiplier on the analytic error bound (slack for reordering). */
@@ -68,10 +77,11 @@ struct OracleConfig
 
     /** Narrows every axis to one value — the shrinker's view. */
     static OracleConfig single(KernelKind kind, Precision p,
-                               bool engine_on, int threads);
+                               bool engine_on, bool simd_on,
+                               int threads);
 };
 
-/** Verdict for one (kernel, precision, engine, threads) combo. */
+/** Verdict for one (kernel, precision, engine, simd, threads) combo. */
 struct OracleOutcome
 {
     enum class Status
@@ -85,11 +95,12 @@ struct OracleOutcome
     KernelKind kind = KernelKind::CuSparse;
     Precision precision = Precision::Fp32;
     bool engineOn = true;
+    bool simdOn = true;
     int threads = 1;
     Status status = Status::Pass;
     std::string detail; ///< Refusal reason / failure description.
 
-    /** "Flash-LLM(v1) @tf32 engine=on threads=4: ..." */
+    /** "Flash-LLM(v1) @tf32 engine=on simd=on threads=4: ..." */
     std::string describe() const;
 };
 
@@ -130,8 +141,9 @@ OracleReport runOracle(const OracleCase& c, const OracleConfig& cfg);
  * non-null, receives the failure description (empty on pass).
  */
 bool comboFails(KernelKind kind, Precision p, bool engine_on,
-                int threads, const CsrMatrix& a, int64_t dense_width,
-                uint64_t seed, double tolerance_safety = 8.0,
+                bool simd_on, int threads, const CsrMatrix& a,
+                int64_t dense_width, uint64_t seed,
+                double tolerance_safety = 8.0,
                 std::string* detail = nullptr);
 
 /**

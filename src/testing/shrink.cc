@@ -266,6 +266,7 @@ writeFailureArtifact(const std::string& dir, const std::string& stem,
       << "kernel " << kernelKindName(info.kind) << "\n"
       << "precision " << precisionName(info.precision) << "\n"
       << "engineOn " << (info.engineOn ? 1 : 0) << "\n"
+      << "simdOn " << (info.simdOn ? 1 : 0) << "\n"
       << "threads " << info.threads << "\n"
       << "denseWidth " << info.denseWidth << "\n"
       << "denseSeed " << info.denseSeed << "\n"
@@ -311,6 +312,8 @@ loadFailureArtifact(const std::string& case_path)
                 precisionFromNameOrThrow(rest, &out.info.precision);
             else if (key == "engineOn")
                 out.info.engineOn = std::stoi(rest) != 0;
+            else if (key == "simdOn")
+                out.info.simdOn = std::stoi(rest) != 0;
             else if (key == "threads")
                 out.info.threads = std::stoi(rest);
             else if (key == "denseWidth")
@@ -363,8 +366,9 @@ bool
 replayArtifact(const LoadedArtifact& artifact, std::string* detail)
 {
     return comboFails(artifact.info.kind, artifact.info.precision,
-                      artifact.info.engineOn, artifact.info.threads,
-                      artifact.matrix, artifact.info.denseWidth,
+                      artifact.info.engineOn, artifact.info.simdOn,
+                      artifact.info.threads, artifact.matrix,
+                      artifact.info.denseWidth,
                       artifact.info.denseSeed,
                       /*tolerance_safety=*/8.0, detail);
 }

@@ -57,6 +57,7 @@ struct FailureArtifact
     KernelKind kind = KernelKind::CuSparse;
     Precision precision = Precision::Fp32;
     bool engineOn = true;
+    bool simdOn = true;
     int threads = 1;
     int64_t denseWidth = 16;
     uint64_t denseSeed = 1;

@@ -32,7 +32,10 @@ namespace {
 /**
  * Dense widths: j-block multiples, odd tails (13, 137), panel-exact
  * (256 = kPanelCols), and 515 (odd AND > 2*kPanelCols, forcing the
- * multi-panel path with a ragged last panel).
+ * multi-panel path with a ragged last panel).  Tests that depend on
+ * 515 exercising multiple panels pin ScopedPanelCols(kPanelCols),
+ * since the auto-tuned base (engine::panelColsBase) can be wide
+ * enough on big-cache hosts to make 515 a single panel.
  */
 const int64_t kWidths[] = {1, 8, 13, 16, 137, 256, 515};
 
@@ -96,6 +99,7 @@ expectBitwiseEqual(const DenseMatrix& a, const DenseMatrix& b)
 
 TEST(EngineEquivalence, AllEngineRoutedKernelsAllWidths)
 {
+    engine::ScopedPanelCols pin(engine::kPanelCols);
     for (const auto& [mat_name, m] : sweepMatrices()) {
         for (KernelKind kind : engineRoutedKinds()) {
             auto kernel = makeKernel(kind);
@@ -116,6 +120,7 @@ TEST(EngineEquivalence, AllEngineRoutedKernelsAllWidths)
 
 TEST(EngineEquivalence, DtcAllPrecisions)
 {
+    engine::ScopedPanelCols pin(engine::kPanelCols);
     const Precision precisions[] = {Precision::Tf32, Precision::Bf16,
                                     Precision::Fp16};
     for (const auto& [mat_name, m] : sweepMatrices()) {
@@ -139,6 +144,7 @@ TEST(EngineEquivalence, DtcAllPrecisions)
 
 TEST(EngineEquivalence, ReferenceKernels)
 {
+    engine::ScopedPanelCols pin(engine::kPanelCols);
     for (const auto& [mat_name, m] : sweepMatrices()) {
         for (int64_t n : kWidths) {
             SCOPED_TRACE(mat_name + " n=" + std::to_string(n));

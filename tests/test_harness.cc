@@ -156,7 +156,7 @@ TEST(Oracle, GreenOnEveryAdversarialFamily)
         EXPECT_GT(rep.passes, 0) << c.label;
         EXPECT_EQ(rep.combos(),
                   static_cast<int64_t>(allKernelKinds().size()) * 3 * 2
-                      * 2)
+                      * 2 * 2)
             << c.label;
     }
 }
@@ -167,7 +167,8 @@ TEST(Oracle, SingleConfigJudgesExactlyOneCombo)
     c.a = testing::generateStructure(StructureFamily::Banded, 3, 0);
     const testing::OracleReport rep = testing::runOracle(
         c, testing::OracleConfig::single(KernelKind::Dtc,
-                                         Precision::Tf32, true, 1));
+                                         Precision::Tf32, true, true,
+                                         1));
     EXPECT_EQ(rep.combos(), 1);
     EXPECT_TRUE(rep.ok()) << rep.summary();
 }
