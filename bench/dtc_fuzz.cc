@@ -19,6 +19,13 @@
  *   dtc_fuzz --replay DIR
  *       Re-judges every .case artifact in DIR (the checked-in
  *       regression corpus): each must now pass the oracle.
+ *
+ *   dtc_fuzz --serve-soak [--rounds N]
+ *       Serving-layer soak: randomized concurrent clients against
+ *       the multi-tenant SpmmService (shared matrix pool, random
+ *       precisions/deadlines/queue sizes, occasional armed fault).
+ *       Every request must end typed or verified-correct.  CI runs
+ *       this leg under ThreadSanitizer.
  */
 #include <cstring>
 #include <filesystem>
@@ -38,6 +45,8 @@ usage(const char* argv0)
         << "  --smoke            bounded deterministic sweep (CI gate)\n"
         << "  --soak [--rounds N] resilience soak: runtime under randomized\n"
         << "                     deadlines + fault sweep (CI gate)\n"
+        << "  --serve-soak [--rounds N] serving-layer soak: concurrent\n"
+        << "                     clients against SpmmService (TSan leg)\n"
         << "  --minutes N        timed fuzzing campaign\n"
         << "  --replay DIR       re-judge checked-in corpus artifacts\n"
         << "options:\n"
@@ -62,6 +71,7 @@ main(int argc, char** argv)
         None,
         Smoke,
         Soak,
+        ServeSoak,
         Timed,
         Replay,
     };
@@ -89,6 +99,8 @@ main(int argc, char** argv)
             mode = Mode::Smoke;
         } else if (arg == "--soak") {
             mode = Mode::Soak;
+        } else if (arg == "--serve-soak") {
+            mode = Mode::ServeSoak;
         } else if (arg == "--rounds") {
             rounds = std::stoll(next("a count"));
         } else if (arg == "--minutes") {
@@ -135,6 +147,11 @@ main(int argc, char** argv)
             opt.scale = scale < 0 ? 0 : scale;
             stats = runSoakCampaign(opt, rounds,
                                     seed_given ? base_seed : 5000);
+            break;
+          case Mode::ServeSoak:
+            opt.scale = scale < 0 ? 0 : scale;
+            stats = runServeSoakCampaign(
+                opt, rounds, seed_given ? base_seed : 7000);
             break;
           case Mode::Timed:
             opt.scale = scale < 0 ? 1 : scale;

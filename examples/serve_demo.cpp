@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Serving-layer demo: N concurrent tenants share one SpmmService.
+ *
+ * What it shows, in order:
+ *
+ *   1. attach two sparse operands and start a threaded service,
+ *   2. fire 4 client threads x 6 async submits each (mixed A,
+ *      mixed precision, one tenant with a tight deadline),
+ *   3. harvest the futures: per-request RunReport, cache-hit flag,
+ *      and how many requests rode in the same batched execution,
+ *   4. dump the serve.* counters — tune/prepare ran once per
+ *      (A, precision), everything else was cache reuse, and
+ *      same-A requests coalesced into wide-panel executions
+ *      (the paper's preprocessing-amortization story, served).
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/serve_demo
+ */
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "matrix/dense.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+
+using namespace dtc;
+
+namespace {
+
+DenseMatrix
+makePanel(int64_t rows, int64_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    DenseMatrix b(rows, cols);
+    b.fillRandom(rng);
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Two tenant matrices: a GNN-style community graph and a
+    //    uniform-random one.  The service keeps tuned/prepared state
+    //    for each behind a content-hashed LRU.
+    Rng rng(7);
+    CsrMatrix graph = genCommunity(2048, 16, 12.0, 0.85, rng);
+    CsrMatrix mesh = genUniform(1536, 8.0, rng);
+
+    serve::ServeOptions so;
+    so.threads = 2;
+    so.maxBatch = 8;
+    serve::SpmmService svc(so);
+    const serve::MatrixHandle hg = svc.attach(graph);
+    const serve::MatrixHandle hm = svc.attach(mesh);
+
+    // 2. Four clients, six requests each, submitted concurrently.
+    //    Client 3 runs with a 5 ms deadline to show the typed
+    //    failure path — a lapsed deadline arrives through the
+    //    future as DtcError{DeadlineExceeded}, never as a crash.
+    const int clients = 4;
+    const int per_client = 6;
+    std::mutex mu;
+    std::vector<std::future<serve::SubmitResult>> futures;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            Rng crng(100 + static_cast<uint64_t>(c));
+            for (int i = 0; i < per_client; ++i) {
+                const bool on_graph = (c + i) % 3 != 0;
+                const serve::MatrixHandle h = on_graph ? hg : hm;
+                const int64_t rows =
+                    on_graph ? graph.cols() : mesh.cols();
+                DenseMatrix b = makePanel(rows, 16, crng.next64());
+                const Precision p = (c % 2 == 0) ? Precision::Fp32
+                                                 : Precision::Tf32;
+                serve::SubmitOptions sopt;
+                if (c == 3)
+                    sopt.deadlineMs = 5;
+                try {
+                    auto f = svc.submit(h, std::move(b), p, sopt);
+                    std::lock_guard<std::mutex> lk(mu);
+                    futures.push_back(std::move(f));
+                } catch (const DtcError& e) {
+                    // Full admission queue — a typed, retryable
+                    // rejection the client sees synchronously.
+                    std::printf("client %d: rejected: %s\n", c,
+                                e.what());
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    // 3. Harvest.  Each future either carries a result (with the
+    //    RunReport of the execution that served it) or throws the
+    //    typed DtcError for that request alone.
+    int ok = 0, deadline = 0, hits = 0;
+    int64_t batched = 0;
+    for (auto& f : futures) {
+        try {
+            serve::SubmitResult r = f.get();
+            ++ok;
+            if (r.preparedCacheHit)
+                ++hits;
+            if (r.batchSize > 1)
+                batched += 1;
+        } catch (const DtcError& e) {
+            if (e.code() == ErrorCode::DeadlineExceeded)
+                ++deadline;
+            else
+                std::printf("request failed: %s\n", e.what());
+        }
+    }
+    svc.drain();
+    std::printf("requests: %d ok, %d deadline-expired, "
+                "%d served from warm cache, %lld rode a batch\n",
+                ok, deadline, hits,
+                static_cast<long long>(batched));
+
+    // One more request after the storm: the service is warm now, so
+    // this pays neither tune nor prepare — preprocessing amortized
+    // across every tenant that follows.
+    const serve::SubmitResult warm =
+        svc.run(hg, makePanel(graph.cols(), 16, 999),
+                Precision::Fp32);
+    std::printf("post-storm request: cache_hit=%s kernel=%s\n",
+                warm.preparedCacheHit ? "yes" : "no",
+                warm.report.kernel.c_str());
+
+    // 4. The service-level story in counters: tune/prepare ran once
+    //    per distinct (A contents, precision); every other request
+    //    reused it, and queued same-A requests coalesced.
+    const char* keys[] = {
+        "serve.submits",          "serve.cache.hits",
+        "serve.cache.misses",     "serve.batches",
+        "serve.batched_requests", "serve.deadline_expired_queued",
+        "tuner.tunes",
+    };
+    std::printf("\ncounters:\n");
+    for (const char* k : keys)
+        std::printf("  %-30s %llu\n", k,
+                    static_cast<unsigned long long>(
+                        obs::metrics::counterValue(k)));
+    return 0;
+}

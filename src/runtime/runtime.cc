@@ -36,17 +36,47 @@ isAbort(ErrorCode code)
 
 } // namespace
 
+std::shared_ptr<const TuneResult>
+Runtime::tune(const CsrMatrix& a, const TuneRequest& request,
+              const CostModel& cm)
+{
+    DTC_TRACE_SCOPE("runtime.tune");
+    return std::make_shared<const TuneResult>(
+        tuneSpmm(a, request, cm));
+}
+
 Runtime::Runtime(const CsrMatrix& a_in, const CostModel& cm,
                  RuntimeOptions options, BreakerRegistry* breakers)
     : a(a_in), opt(std::move(options))
 {
-    DTC_TRACE_SCOPE("runtime.tune");
-    tuned = tuneSpmm(a, opt.tune, cm);
-    for (const TuneEntry& e : tuned.supportedEntries()) {
+    tuned = tune(a, opt.tune, cm);
+    initFromTuned(breakers);
+}
+
+Runtime::Runtime(const CsrMatrix& a_in,
+                 std::shared_ptr<const TuneResult> tuned_in,
+                 RuntimeOptions options, BreakerRegistry* breakers)
+    : a(a_in), opt(std::move(options)), tuned(std::move(tuned_in))
+{
+    DTC_CHECK_MSG(tuned != nullptr, "tuned state must be non-null");
+    initFromTuned(breakers);
+}
+
+void
+Runtime::initFromTuned(BreakerRegistry* breakers)
+{
+    for (const TuneEntry& e : tuned->supportedEntries()) {
+        // A requested precision narrows the chain to kinds that can
+        // express it; the rest would only die at prepare() anyway.
+        if (opt.precision &&
+            !kernelSupportsPrecision(e.kind, *opt.precision))
+            continue;
         Candidate c;
         c.kind = e.kind;
         c.name = e.name;
-        c.precision = kernelTraits(e.kind).nativePrecision;
+        c.precision = opt.precision
+                          ? *opt.precision
+                          : kernelTraits(e.kind).nativePrecision;
         candidates.push_back(std::move(c));
     }
     // Even "nothing supported" leaves the reference fallback, so the
@@ -67,7 +97,18 @@ Runtime::preparedKernel(Candidate& cand, RunReport& rep)
     if (cand.kernel && cand.kernel->prepared())
         return cand.kernel.get();
     DTC_TRACE_SCOPE("runtime.prepare");
-    cand.kernel = makeKernel(cand.kind);
+    cand.kernel = opt.precision
+                      ? makeKernelAt(cand.kind, *opt.precision)
+                      : makeKernel(cand.kind);
+    if (!cand.kernel) {
+        cand.dead = true;
+        RunAttempt att;
+        att.kernel = cand.name;
+        att.code = ErrorCode::Unsupported;
+        att.detail = "kind cannot express requested precision";
+        rep.failures.push_back(std::move(att));
+        return nullptr;
+    }
     const Refusal r = cand.kernel->prepare(a);
     if (!r.ok()) {
         // A refusal is the kernel's *modeled answer* for this matrix;

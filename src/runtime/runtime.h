@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,16 @@ struct RuntimeOptions
     int64_t deadlineMs = -1;
 
     /**
+     * Requested operand precision: candidates are instantiated with
+     * makeKernelAt(kind, *precision), and kinds that cannot express
+     * it are dropped (typed Unsupported failure entry, no retry).
+     * Unset keeps every kernel at its native precision.  The serving
+     * layer sets this so one (A, precision) cache entry reroutes only
+     * among kernels that honour the tenant's requested precision.
+     */
+    std::optional<Precision> precision;
+
+    /**
      * Deterministic test hook: trip the deadline on the n-th
      * cancellation poll instead of wall-clock (0 = off).
      */
@@ -122,10 +133,14 @@ struct RunReport
 
 /**
  * Resilient SpMM executor bound to one sparse matrix (see file
- * comment).  Construction tunes the candidate set on @p cm; kernels
- * prepare lazily on first use.  Thread-compatible: concurrent run()
- * calls on one instance are not supported (the breaker registry is
- * thread-safe, the prepared-kernel cache is not).
+ * comment).  Construction tunes the candidate set on @p cm — or, via
+ * the tuned-state constructor, reuses a ranking computed once by
+ * tune() so an identical (registry, matrix) pair never re-runs the
+ * tuner per request (the serving layer's prepared-kernel cache keys
+ * on exactly that).  Kernels prepare lazily on first use.
+ * Thread-compatible: concurrent run() calls on one instance are not
+ * supported (the breaker registry is thread-safe, the
+ * prepared-kernel cache is not).
  */
 class Runtime
 {
@@ -142,6 +157,27 @@ class Runtime
             BreakerRegistry* breakers = nullptr);
 
     /**
+     * Constructs from tuned state computed once by tune(): no tuner
+     * run, no cost-model walk — the reusable half of construction the
+     * serving layer amortizes across requests.  @p tuned must be the
+     * result of tune() on an identical matrix + candidate set
+     * (checked only by size/shape plausibility, not re-derived).
+     */
+    Runtime(const CsrMatrix& a,
+            std::shared_ptr<const TuneResult> tuned,
+            RuntimeOptions opt = {},
+            BreakerRegistry* breakers = nullptr);
+
+    /**
+     * Runs the tuner once for @p a and returns the shareable ranking;
+     * feed it to any number of Runtime instances (or the same one
+     * reconstructed later) to skip re-tuning.
+     */
+    static std::shared_ptr<const TuneResult>
+    tune(const CsrMatrix& a, const TuneRequest& request,
+         const CostModel& cm);
+
+    /**
      * C = A * B with deadline, retry, breaker rerouting, and guard
      * validation.  @p c must be a.rows() x b.cols().  Throws
      * DtcError{DeadlineExceeded|Cancelled} on an expired budget and
@@ -155,7 +191,13 @@ class Runtime
     DenseMatrix run(const DenseMatrix& b);
 
     /** The tuner's ranking this runtime routes over. */
-    const TuneResult& tuning() const { return tuned; }
+    const TuneResult& tuning() const { return *tuned; }
+
+    /** The shareable tuned state (reusable via the tuned ctor). */
+    std::shared_ptr<const TuneResult> tunedState() const
+    {
+        return tuned;
+    }
 
     /** The breaker registry in use. */
     BreakerRegistry& breakers() { return *breg; }
@@ -175,9 +217,12 @@ class Runtime
     /** Prepares (once) and returns the kernel, or null if refused. */
     SpmmKernel* preparedKernel(Candidate& cand, RunReport& rep);
 
+    /** Builds candidates + breaker wiring from the tuned ranking. */
+    void initFromTuned(BreakerRegistry* breakers);
+
     CsrMatrix a;
     RuntimeOptions opt;
-    TuneResult tuned;
+    std::shared_ptr<const TuneResult> tuned;
     std::vector<Candidate> candidates; ///< Tuner rank order.
     std::unique_ptr<BreakerRegistry> ownedBreakers;
     BreakerRegistry* breg;

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * SpmmService — the multi-tenant SpMM serving front-end.
+ *
+ * Sits on top of the resilient runtime (runtime/runtime.h) and turns
+ * the repo's one-request-at-a-time execution model into a service:
+ *
+ *   - submit(handle, B, precision) is asynchronous: the request is
+ *     admitted to a bounded queue and a std::future carries the
+ *     result (or the typed DtcError) back to the tenant.
+ *   - Same-(A, precision) requests waiting in the queue coalesce
+ *     into one batched panel execution: their B panels concatenate
+ *     column-wise into a single wide operand, the prepared kernel
+ *     walks A's nonzeros once per column panel for the whole batch,
+ *     and the wide C splits back per request.  SpMM is
+ *     column-independent, so every tenant's slice is bitwise
+ *     identical to a solo run — batching changes wall-clock, never
+ *     results.
+ *   - Prepared state (tuner ranking + prepared kernels) lives in a
+ *     content-hashed LRU (serve/prepared_cache.h): the first request
+ *     for a matrix pays the tune/prepare cost, every later one —
+ *     from any tenant — reuses it.  Mutating A in place changes the
+ *     hash and re-prepares; no stale kernels.
+ *   - Admission control: a full queue rejects with typed
+ *     DtcError{ResourceExhausted} instead of queueing unboundedly.
+ *     Per-request deadlines propagate through CancelToken; a request
+ *     whose deadline lapses while queued fails typed
+ *     DeadlineExceeded without touching the prepared cache.
+ *   - Breaker / guard / reference-fallback semantics are the
+ *     runtime's, preserved per entry: every request gets the
+ *     RunReport of the execution that served it.
+ *
+ * Determinism: ServeOptions::deterministic executes submissions
+ * inline on the calling thread (no workers, no queue), so a recorded
+ * request sequence is bitwise-replayable — the oracle and the serve
+ * tests compare threaded results against this mode.
+ *
+ * Knobs (constructor options, env fallback): DTC_SERVE_THREADS,
+ * DTC_SERVE_QUEUE, DTC_SERVE_CACHE_BYTES.
+ */
+#ifndef DTC_SERVE_SERVICE_H
+#define DTC_SERVE_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/precision.h"
+#include "gpusim/cost_model.h"
+#include "matrix/csr.h"
+#include "matrix/dense.h"
+#include "runtime/runtime.h"
+#include "serve/prepared_cache.h"
+
+namespace dtc {
+namespace serve {
+
+/** Service-wide knobs. */
+struct ServeOptions
+{
+    /**
+     * Worker threads; < 0 resolves DTC_SERVE_THREADS (default 2),
+     * 0 behaves like deterministic = true.
+     */
+    int threads = -1;
+
+    /**
+     * Admission-queue capacity in requests; < 0 resolves
+     * DTC_SERVE_QUEUE (default 64).  A submit against a full queue
+     * throws DtcError{ResourceExhausted}.
+     */
+    int64_t queueCapacity = -1;
+
+    /**
+     * Prepared-A cache budget in bytes; <= 0 resolves
+     * DTC_SERVE_CACHE_BYTES, else the thread-local
+     * ResourceBudget::current().stagingBytes.
+     */
+    int64_t cacheBytes = 0;
+
+    /** Max requests coalesced into one batched execution. */
+    int64_t maxBatch = 8;
+
+    /**
+     * Inline single-thread mode: submit() executes on the calling
+     * thread and returns a ready future.  Results are bitwise
+     * identical to the threaded mode (column independence), which is
+     * what makes recorded request streams replayable for the oracle.
+     */
+    bool deterministic = false;
+
+    /**
+     * Per-entry runtime knobs (tune request, breaker, guard, retry).
+     * deadlineMs/deadlineChecks are ignored — deadlines are
+     * per-request (SubmitOptions) in the service.
+     */
+    runtime::RuntimeOptions runtime;
+};
+
+/** Per-request knobs. */
+struct SubmitOptions
+{
+    /** Deadline in ms from submit time; 0 = none. */
+    int64_t deadlineMs = 0;
+};
+
+/** A tenant's reference to a sparse operand it keeps alive. */
+struct MatrixHandle
+{
+    const CsrMatrix* matrix = nullptr;
+};
+
+/** What one served request got back. */
+struct SubmitResult
+{
+    DenseMatrix c;
+
+    /** The runtime's report for the execution that served this
+     *  request (shared across a batch). */
+    runtime::RunReport report;
+
+    /** Prepared-A cache hit (no tune/prepare on this request). */
+    bool preparedCacheHit = false;
+
+    /** Requests coalesced into the execution that produced c. */
+    int64_t batchSize = 1;
+};
+
+/** Multi-tenant batched SpMM service (see file comment). */
+class SpmmService
+{
+  public:
+    /**
+     * @param opt  service knobs
+     * @param cm   cost model for tuning; nullptr = the modeled
+     *             RTX 4090 deployment default
+     */
+    explicit SpmmService(ServeOptions opt = {},
+                         const CostModel* cm = nullptr);
+
+    /** Drains the queue, then stops and joins the workers. */
+    ~SpmmService();
+
+    SpmmService(const SpmmService&) = delete;
+    SpmmService& operator=(const SpmmService&) = delete;
+
+    /**
+     * Registers @p a for submission.  The service hashes *contents*
+     * at each submit, so mutating @p a in place is safe — the next
+     * submit sees the new contents and re-prepares.  @p a must stay
+     * alive until every submit against the handle completed.
+     */
+    MatrixHandle attach(const CsrMatrix& a) const;
+
+    /**
+     * C = A * B asynchronously.  Throws DtcError{InvalidInput} on a
+     * shape mismatch and DtcError{ResourceExhausted} when the
+     * admission queue is full; every per-request failure (deadline,
+     * exhausted reroute chain) arrives through the future instead.
+     */
+    std::future<SubmitResult> submit(MatrixHandle h, DenseMatrix b,
+                                     Precision p,
+                                     SubmitOptions sopt = {});
+
+    /** Synchronous convenience: submit + get. */
+    SubmitResult run(MatrixHandle h, const DenseMatrix& b,
+                     Precision p, SubmitOptions sopt = {});
+
+    /**
+     * Submits every panel in @p bs (same A, same precision) and
+     * waits; in deterministic mode the panels execute as one batch
+     * inline.  The batching win the bench gates on.
+     */
+    std::vector<SubmitResult> runBatch(MatrixHandle h,
+                                       const std::vector<DenseMatrix>& bs,
+                                       Precision p,
+                                       SubmitOptions sopt = {});
+
+    /** Blocks until the queue is empty and every worker is idle. */
+    void drain();
+
+    /**
+     * Test seam: workers finish their in-flight batch, then park
+     * until resume().  Lets tests fill the queue deterministically
+     * (admission control) and let queued deadlines lapse.
+     */
+    void pause();
+    void resume();
+
+    /** Requests currently queued (excludes in-flight). */
+    int64_t queueDepth() const;
+
+    PreparedCache& cache() { return preparedCache; }
+    const ServeOptions& options() const { return opt; }
+
+  private:
+    struct Request
+    {
+        std::shared_ptr<PreparedEntry> entry;
+        bool cacheHit = false;
+        DenseMatrix b;
+        /**
+         * Inline runBatch borrows the caller's panels instead of
+         * copying (the call is synchronous, so they outlive the
+         * execution); queued submits own their operand in `b`.
+         */
+        const DenseMatrix* borrowedB = nullptr;
+        double submitUs = 0.0;   ///< Monotonic submit timestamp.
+        double deadlineUs = 0.0; ///< Absolute monotonic; 0 = none.
+        std::promise<SubmitResult> promise;
+
+        const DenseMatrix& operandB() const
+        {
+            return borrowedB ? *borrowedB : b;
+        }
+    };
+
+    /** Admits @p r or throws ResourceExhausted; notifies a worker. */
+    void enqueue(std::unique_ptr<Request> r);
+
+    void workerLoop();
+
+    /**
+     * Pops the next runnable request plus every queued same-entry
+     * same-precision companion (up to maxBatch).  Returns empty when
+     * stopping and the queue is drained.
+     */
+    std::vector<std::unique_ptr<Request>> nextBatch();
+
+    /**
+     * Executes a coalesced batch against its (shared) entry:
+     * prepare-once, wide-B concatenation, one Runtime::run, split,
+     * fulfill.  Deadline trips re-run still-live members solo.
+     */
+    void executeBatch(std::vector<std::unique_ptr<Request>> batch);
+
+    /** One request, its own deadline token; fulfills its promise. */
+    void executeSingle(std::unique_ptr<Request> r);
+
+    ServeOptions opt;
+    CostModel costModel;
+    PreparedCache preparedCache;
+    int64_t queueCap;
+    bool inlineMode;
+
+    mutable std::mutex qmu;
+    std::condition_variable qcv;    ///< Wakes workers.
+    std::condition_variable idleCv; ///< Wakes drain().
+    std::deque<std::unique_ptr<Request>> queue;
+    int inFlight = 0; ///< Requests popped but not yet fulfilled.
+    bool paused = false;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace serve
+} // namespace dtc
+
+#endif // DTC_SERVE_SERVICE_H

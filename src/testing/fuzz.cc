@@ -1,11 +1,16 @@
 #include "testing/fuzz.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "common/fault.h"
 #include "common/fault_sites.h"
@@ -15,6 +20,8 @@
 #include "gpusim/cost_model.h"
 #include "matrix/mm_io.h"
 #include "runtime/runtime.h"
+#include "serve/prepared_cache.h"
+#include "serve/service.h"
 #include "testing/generators.h"
 #include "testing/properties.h"
 
@@ -275,6 +282,181 @@ runSoakCampaign(const FuzzOptions& opt, int64_t rounds,
                 " -> untyped exception: " + std::string(e.what()));
             logLine(opt, stats.failureLines.back());
         }
+    }
+    return stats;
+}
+
+FuzzStats
+runServeSoakCampaign(const FuzzOptions& opt, int64_t rounds,
+                     uint64_t base_seed)
+{
+    FuzzStats stats;
+    const CostModel cm(ArchSpec::rtx4090());
+    const auto& families = allStructureFamilies();
+    const Precision precisions[] = {Precision::Fp32, Precision::Tf32,
+                                    Precision::Fp16};
+    const std::vector<std::string>& sites = fault::allFaultSites();
+    const ErrorCode codes[] = {ErrorCode::ResourceExhausted,
+                               ErrorCode::Internal,
+                               ErrorCode::CorruptData};
+
+    for (int64_t round = 0; round < rounds; ++round) {
+        Rng r(base_seed +
+              static_cast<uint64_t>(round) * 0x9e3779b97f4a7c15ull);
+
+        // A small shared matrix pool: tenants resubmitting the same
+        // contents is what exercises cache hits and coalesced
+        // batches; a tight byte budget (sometimes) forces evictions
+        // mid-traffic.
+        const size_t pool_n = 2 + r.nextBounded(2);
+        std::vector<CsrMatrix> pool;
+        for (size_t i = 0; i < pool_n; ++i)
+            pool.push_back(generateStructure(
+                families[r.nextBounded(families.size())],
+                1 + r.nextBounded(1u << 20), opt.scale));
+
+        serve::ServeOptions so;
+        so.threads = 1 + static_cast<int>(r.nextBounded(3));
+        so.queueCapacity = 4 + static_cast<int64_t>(r.nextBounded(28));
+        so.maxBatch = 1 + static_cast<int64_t>(r.nextBounded(8));
+        so.deterministic = r.nextBounded(4) == 0;
+        so.cacheBytes =
+            r.nextBounded(3) == 0
+                ? serve::PreparedCache::entryBytes(pool[0]) + 1
+                : int64_t{64} << 20;
+        so.runtime.guard.sampleFraction =
+            r.nextBounded(2) != 0 ? 0.05 : 0.0;
+
+        // Occasionally arm a fault for the whole round; arming is
+        // thread-safe, and the contract below covers both outcomes.
+        std::unique_ptr<fault::ScopedFault> armed;
+        std::string fault_desc = "none";
+        if (r.nextBounded(3) == 0) {
+            const std::string& site =
+                sites[r.nextBounded(sites.size())];
+            const int64_t nth =
+                1 + static_cast<int64_t>(r.nextBounded(4));
+            const ErrorCode code = codes[r.nextBounded(3)];
+            armed = std::make_unique<fault::ScopedFault>(site, nth,
+                                                         code);
+            fault_desc = site + ":" + std::to_string(nth) + ":" +
+                         errorCodeName(code);
+        }
+
+        std::ostringstream scen;
+        scen << "serve-soak round=" << round << " pool=" << pool_n
+             << " threads=" << so.threads << " queue="
+             << so.queueCapacity << " maxBatch=" << so.maxBatch
+             << " det=" << so.deterministic << " fault="
+             << fault_desc;
+        ++stats.cases;
+
+        // One issued request: the operands the judge needs plus the
+        // future carrying the outcome.
+        struct Issued
+        {
+            const CsrMatrix* a;
+            DenseMatrix b;
+            std::future<serve::SubmitResult> fut;
+        };
+        std::mutex imu;
+        std::vector<Issued> issued;
+        std::atomic<int64_t> typed_at_submit{0};
+        std::atomic<int64_t> untyped_at_submit{0};
+
+        {
+            serve::SpmmService svc(so, &cm);
+            const int clients = 2 + static_cast<int>(r.nextBounded(3));
+            std::vector<std::thread> threads;
+            for (int ci = 0; ci < clients; ++ci) {
+                const uint64_t cseed =
+                    r.next64() ^ (static_cast<uint64_t>(ci) << 32);
+                threads.emplace_back([&, cseed]() {
+                    Rng cr(cseed);
+                    const int n =
+                        2 + static_cast<int>(cr.nextBounded(5));
+                    for (int i = 0; i < n; ++i) {
+                        const CsrMatrix& a =
+                            pool[cr.nextBounded(pool.size())];
+                        DenseMatrix b = makeDenseOperand(
+                            a.cols(), opt.denseWidth, cr.next64());
+                        serve::SubmitOptions sub;
+                        if (cr.nextBounded(4) == 0)
+                            sub.deadlineMs =
+                                1 + static_cast<int64_t>(
+                                        cr.nextBounded(50));
+                        const Precision p =
+                            precisions[cr.nextBounded(3)];
+                        DenseMatrix b_copy(b.rows(), b.cols());
+                        std::copy(b.data(), b.data() + b.size(),
+                                  b_copy.data());
+                        try {
+                            auto fut =
+                                svc.submit(svc.attach(a),
+                                           std::move(b_copy), p, sub);
+                            std::lock_guard<std::mutex> lock(imu);
+                            issued.push_back(
+                                {&a, std::move(b), std::move(fut)});
+                        } catch (const DtcError&) {
+                            // Admission rejection (queue full) or a
+                            // typed submit-path failure: legal.
+                            typed_at_submit.fetch_add(1);
+                        } catch (...) {
+                            untyped_at_submit.fetch_add(1);
+                        }
+                    }
+                });
+            }
+            for (std::thread& t : threads)
+                t.join();
+            svc.drain();
+        }
+
+        stats.passes += typed_at_submit.load();
+        stats.combos += typed_at_submit.load();
+        if (untyped_at_submit.load() != 0) {
+            stats.failures += untyped_at_submit.load();
+            stats.failureLines.push_back(
+                scen.str() + " -> untyped exception at submit");
+            logLine(opt, stats.failureLines.back());
+        }
+
+        for (Issued& iss : issued) {
+            ++stats.combos;
+            ++stats.faultRuns;
+            try {
+                serve::SubmitResult res = iss.fut.get();
+                const std::string verdict = judgeResult(
+                    *iss.a, iss.b, res.c, res.report.precision,
+                    /*bit_exact=*/false, /*tolerance_safety=*/8.0);
+                if (verdict.empty()) {
+                    ++stats.passes;
+                } else {
+                    ++stats.failures;
+                    stats.failureLines.push_back(
+                        scen.str() +
+                        " -> silent corruption: " + verdict);
+                    logLine(opt, stats.failureLines.back());
+                }
+            } catch (const DtcError& e) {
+                // Typed failure through the future (deadline,
+                // exhausted reroute chain, injected fault): legal.
+                ++stats.passes;
+                logLine(opt, scen.str() + " -> typed " +
+                                 errorCodeName(e.code()));
+            } catch (const std::exception& e) {
+                ++stats.failures;
+                stats.failureLines.push_back(
+                    scen.str() + " -> untyped exception: " +
+                    std::string(e.what()));
+                logLine(opt, stats.failureLines.back());
+            }
+        }
+        logLine(opt, scen.str() + " -> " +
+                         std::to_string(issued.size()) +
+                         " served, " +
+                         std::to_string(typed_at_submit.load()) +
+                         " rejected typed");
     }
     return stats;
 }

@@ -134,6 +134,23 @@ FuzzStats runSoakCampaign(const FuzzOptions& opt, int64_t rounds,
                           uint64_t base_seed = 5000);
 
 /**
+ * Serving-layer soak: @p rounds seeded scenarios driving the
+ * multi-tenant SpmmService (serve/service.h) with randomized
+ * concurrent clients — a small pool of matrices shared across
+ * tenants (so the prepared cache sees hits, misses, and evictions),
+ * randomized precisions, queue capacities, batch limits, deadlines,
+ * and an occasionally armed fault.  Asserts the service-level
+ * typed-error-or-correct contract: every submitted request either
+ * yields an oracle-verified result (through the future) or a typed
+ * DtcError (thrown at submit for admission rejections, through the
+ * future otherwise).  Wall-clock deadlines make *which* outcome racy;
+ * the contract holds for both.  Run under TSan in CI — the queue and
+ * cache must be clean.
+ */
+FuzzStats runServeSoakCampaign(const FuzzOptions& opt, int64_t rounds,
+                               uint64_t base_seed = 7000);
+
+/**
  * Metamorphic property sweep (reorder invariance, linearity, scalar
  * scaling, serialize round trip) over every family at @p opt.seeds.
  */

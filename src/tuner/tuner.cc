@@ -133,6 +133,10 @@ tuneSpmm(const CsrMatrix& m, const TuneRequest& request,
     DTC_CHECK(request.denseWidth > 0 && request.iterations > 0);
     DTC_TRACE_SCOPE("tuner.tune");
     obs::ScopedTimerMs timer("tuner.tune_ms");
+    // Full-tuner invocations, distinct from per-candidate tallies:
+    // the serving layer's warm path must leave this flat (see
+    // Runtime::tune and serve::PreparedCache).
+    obs::metrics::counter("tuner.tunes").add(1);
     const std::vector<KernelKind> candidates =
         request.candidates.empty() ? defaultTuneCandidates()
                                    : request.candidates;

@@ -506,6 +506,40 @@ TEST_F(RuntimeTest, GuardDisabledProbeIsOneAtomicLoad)
     EXPECT_FALSE(runtime::guard::enabled());
 }
 
+TEST_F(RuntimeTest, TunedStateReuseSkipsReTuning)
+{
+    // The serving layer's amortization contract: tune() once, then
+    // any number of Runtime constructions from the shared ranking
+    // without the tuner (or its cost-model walk) running again.
+    obs::metrics::reset();
+    CsrMatrix a = genUniform(256, 6.0, rng);
+    const DenseMatrix b = testing::makeDenseOperand(a.cols(), 8, 77);
+
+    const auto tuned =
+        Runtime::tune(a, RuntimeOptions{}.tune, cm);
+    EXPECT_EQ(obs::metrics::counterValue("tuner.tunes"), 1u);
+    const uint64_t evaluated = obs::metrics::counterValue(
+        "tuner.candidates_evaluated");
+
+    Runtime rt1(a, tuned, RuntimeOptions{});
+    Runtime rt2(a, tuned, RuntimeOptions{});
+    DenseMatrix c1(a.rows(), b.cols());
+    DenseMatrix c2(a.rows(), b.cols());
+    rt1.run(b, c1);
+    rt2.run(b, c2);
+
+    EXPECT_EQ(obs::metrics::counterValue("tuner.tunes"), 1u);
+    EXPECT_EQ(
+        obs::metrics::counterValue("tuner.candidates_evaluated"),
+        evaluated);
+    EXPECT_TRUE(c1 == c2);
+    EXPECT_EQ(rt1.tunedState().get(), tuned.get());
+    expectCloseToReference(a, b, c1);
+
+    // A null tuned state is a caller bug, reported typed.
+    EXPECT_THROW(Runtime(a, nullptr, RuntimeOptions{}), DtcError);
+}
+
 TEST_F(RuntimeTest, GuardSampleEnvKnobIsValidated)
 {
     ASSERT_EQ(setenv("DTC_GUARD_SAMPLE", "0.5", 1), 0);

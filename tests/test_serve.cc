@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the serving layer (src/serve/): the content-hashed
+ * prepared-kernel cache (hit/miss/eviction under a byte budget,
+ * in-place mutation re-prepares), admission control, queued-deadline
+ * expiry, batching bitwise equality, concurrent-storm linearizability
+ * against the deterministic mode, and tuned-state reuse (the warm
+ * path must never re-tune).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "gpusim/arch.h"
+#include "gpusim/cost_model.h"
+#include "obs/metrics.h"
+#include "runtime/guard.h"
+#include "serve/prepared_cache.h"
+#include "serve/service.h"
+#include "testing/oracle.h"
+
+namespace dtc {
+namespace {
+
+using serve::MatrixHandle;
+using serve::PreparedCache;
+using serve::ServeOptions;
+using serve::SpmmService;
+using serve::SubmitOptions;
+using serve::SubmitResult;
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::disarmAll();
+        runtime::guard::setSampleFraction(0.0);
+    }
+    void
+    TearDown() override
+    {
+        fault::disarmAll();
+        runtime::guard::setSampleFraction(-1.0);
+    }
+
+    /** Deterministic-mode options with a roomy cache. */
+    ServeOptions
+    inlineOptions() const
+    {
+        ServeOptions so;
+        so.deterministic = true;
+        so.cacheBytes = int64_t{64} << 20;
+        return so;
+    }
+
+    CostModel cm{ArchSpec::rtx4090()};
+    Rng rng{4242};
+};
+
+TEST_F(ServeTest, CacheHitMissAndGauges)
+{
+    obs::metrics::reset();
+    const CsrMatrix a = genUniform(256, 6.0, rng);
+    PreparedCache cache(int64_t{64} << 20);
+
+    auto e1 = cache.acquire(a, Precision::Fp32);
+    EXPECT_EQ(obs::metrics::counterValue("serve.cache.misses"), 1u);
+    auto e2 = cache.acquire(a, Precision::Fp32);
+    EXPECT_EQ(obs::metrics::counterValue("serve.cache.hits"), 1u);
+    EXPECT_EQ(e1.get(), e2.get()); // same contents -> same entry
+
+    // Same contents, different precision: a distinct entry.
+    auto e3 = cache.acquire(a, Precision::Tf32);
+    EXPECT_EQ(obs::metrics::counterValue("serve.cache.misses"), 2u);
+    EXPECT_NE(e1.get(), e3.get());
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.residentBytes(),
+              2 * PreparedCache::entryBytes(a));
+}
+
+TEST_F(ServeTest, EvictionUnderByteBudget)
+{
+    obs::metrics::reset();
+    const CsrMatrix a1 = genUniform(256, 6.0, rng);
+    const CsrMatrix a2 = genUniform(300, 6.0, rng);
+
+    // Budget fits one entry: inserting the second evicts the first.
+    PreparedCache cache(PreparedCache::entryBytes(a2) + 1);
+    auto e1 = cache.acquire(a1, Precision::Fp32);
+    auto e2 = cache.acquire(a2, Precision::Fp32);
+    EXPECT_EQ(obs::metrics::counterValue("serve.cache.evictions"),
+              1u);
+    EXPECT_EQ(cache.entries(), 1u);
+
+    // The evicted shared_ptr stays alive for its holder.
+    EXPECT_EQ(e1->a.rows(), a1.rows());
+
+    // Re-acquiring the evicted matrix is a fresh miss.
+    auto e1b = cache.acquire(a1, Precision::Fp32);
+    EXPECT_NE(e1.get(), e1b.get());
+    EXPECT_EQ(obs::metrics::counterValue("serve.cache.misses"), 3u);
+
+    // A single over-budget entry still serves (never evicted).
+    PreparedCache tiny(16);
+    auto big = tiny.acquire(a1, Precision::Fp32);
+    EXPECT_EQ(tiny.entries(), 1u);
+    EXPECT_NE(big, nullptr);
+}
+
+TEST_F(ServeTest, InPlaceMutationRePrepares)
+{
+    obs::metrics::reset();
+    CsrMatrix a = genUniform(256, 6.0, rng);
+    const DenseMatrix b = testing::makeDenseOperand(a.cols(), 8, 1);
+
+    SpmmService svc(inlineOptions(), &cm);
+    const MatrixHandle h = svc.attach(a);
+    const SubmitResult r1 = svc.run(h, b, Precision::Fp32);
+    EXPECT_FALSE(r1.preparedCacheHit);
+    const SubmitResult r2 = svc.run(h, b, Precision::Fp32);
+    EXPECT_TRUE(r2.preparedCacheHit);
+    const uint64_t tunes_before =
+        obs::metrics::counterValue("tuner.tunes");
+
+    // Mutating A in place changes the content hash: the next submit
+    // must re-tune/re-prepare and compute against the new values.
+    a.values()[0] += 1.0f;
+    const SubmitResult r3 = svc.run(h, b, Precision::Fp32);
+    EXPECT_FALSE(r3.preparedCacheHit);
+    EXPECT_GT(obs::metrics::counterValue("tuner.tunes"),
+              tunes_before);
+    EXPECT_EQ(testing::judgeResult(a, b, r3.c, r3.report.precision,
+                                   /*bit_exact=*/false,
+                                   /*tolerance_safety=*/8.0),
+              "");
+    EXPECT_FALSE(r3.c == r1.c); // new contents, new result
+}
+
+TEST_F(ServeTest, WarmPathNeverReTunes)
+{
+    obs::metrics::reset();
+    const CsrMatrix a = genUniform(256, 6.0, rng);
+    const DenseMatrix b = testing::makeDenseOperand(a.cols(), 8, 2);
+
+    SpmmService svc(inlineOptions(), &cm);
+    const MatrixHandle h = svc.attach(a);
+    svc.run(h, b, Precision::Fp32); // cold: tunes once
+    const uint64_t tunes =
+        obs::metrics::counterValue("tuner.tunes");
+    const uint64_t evaluated = obs::metrics::counterValue(
+        "tuner.candidates_evaluated");
+    for (int i = 0; i < 4; ++i)
+        svc.run(h, b, Precision::Fp32);
+    EXPECT_EQ(obs::metrics::counterValue("tuner.tunes"), tunes);
+    EXPECT_EQ(
+        obs::metrics::counterValue("tuner.candidates_evaluated"),
+        evaluated);
+}
+
+TEST_F(ServeTest, BatchIsBitwiseEqualToSoloRuns)
+{
+    const CsrMatrix a = genUniform(512, 8.0, rng);
+    std::vector<DenseMatrix> panels;
+    for (int i = 0; i < 5; ++i)
+        panels.push_back(testing::makeDenseOperand(
+            a.cols(), 8, 10 + static_cast<uint64_t>(i)));
+
+    SpmmService svc(inlineOptions(), &cm);
+    const MatrixHandle h = svc.attach(a);
+    const std::vector<SubmitResult> batched =
+        svc.runBatch(h, panels, Precision::Fp32);
+    ASSERT_EQ(batched.size(), panels.size());
+    for (const SubmitResult& r : batched)
+        EXPECT_EQ(r.batchSize, 5);
+
+    for (size_t i = 0; i < panels.size(); ++i) {
+        const SubmitResult solo =
+            svc.run(h, panels[i], Precision::Fp32);
+        EXPECT_TRUE(batched[i].c == solo.c)
+            << "panel " << i << " differs from its solo run";
+    }
+}
+
+TEST_F(ServeTest, AdmissionControlRejectsTyped)
+{
+    const CsrMatrix a = genUniform(256, 6.0, rng);
+    ServeOptions so;
+    so.threads = 1;
+    so.queueCapacity = 2;
+    so.cacheBytes = int64_t{64} << 20;
+    SpmmService svc(so, &cm);
+    const MatrixHandle h = svc.attach(a);
+
+    svc.pause(); // park the worker so the queue fills
+    std::vector<std::future<SubmitResult>> futs;
+    for (int i = 0; i < 2; ++i)
+        futs.push_back(svc.submit(
+            h, testing::makeDenseOperand(a.cols(), 8, 20),
+            Precision::Fp32));
+    try {
+        svc.submit(h, testing::makeDenseOperand(a.cols(), 8, 21),
+                   Precision::Fp32);
+        FAIL() << "third submit should have been rejected";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::ResourceExhausted);
+    }
+    EXPECT_GE(obs::metrics::counterValue("serve.rejected"), 1u);
+
+    svc.resume();
+    for (auto& f : futs)
+        EXPECT_NO_THROW(f.get()); // queued work still completes
+}
+
+TEST_F(ServeTest, QueuedDeadlineExpiryIsTypedAndDoesNotPoison)
+{
+    const CsrMatrix a = genUniform(256, 6.0, rng);
+    const DenseMatrix b = testing::makeDenseOperand(a.cols(), 8, 30);
+    ServeOptions so;
+    so.threads = 1;
+    so.cacheBytes = int64_t{64} << 20;
+    SpmmService svc(so, &cm);
+    const MatrixHandle h = svc.attach(a);
+
+    svc.pause();
+    SubmitOptions sopt;
+    sopt.deadlineMs = 1;
+    auto doomed = svc.submit(h, b, Precision::Fp32, sopt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    svc.resume();
+    try {
+        doomed.get();
+        FAIL() << "queued request should have expired";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::DeadlineExceeded);
+    }
+    EXPECT_GE(obs::metrics::counterValue(
+                  "serve.deadline_expired_queued"),
+              1u);
+
+    // The cache entry is not poisoned: the same A served fresh
+    // (without a deadline) completes and verifies.
+    const SubmitResult ok = svc.run(h, b, Precision::Fp32);
+    EXPECT_EQ(testing::judgeResult(a, b, ok.c, ok.report.precision,
+                                   /*bit_exact=*/false,
+                                   /*tolerance_safety=*/8.0),
+              "");
+}
+
+TEST_F(ServeTest, ConcurrentStormMatchesDeterministicMode)
+{
+    const CsrMatrix a = genUniform(512, 8.0, rng);
+    const int kClients = 4;
+    const int kPerClient = 6;
+
+    // Reference results from the deterministic inline mode.
+    std::vector<DenseMatrix> want;
+    {
+        SpmmService ref(inlineOptions(), &cm);
+        const MatrixHandle h = ref.attach(a);
+        for (int i = 0; i < kClients * kPerClient; ++i)
+            want.push_back(
+                ref.run(h,
+                        testing::makeDenseOperand(
+                            a.cols(), 8,
+                            static_cast<uint64_t>(100 + i)),
+                        Precision::Fp32)
+                    .c);
+    }
+
+    // The threaded storm must produce bitwise-identical results for
+    // every request (batching is column-independent) regardless of
+    // interleaving.
+    const uint64_t tunes_before =
+        obs::metrics::counterValue("tuner.tunes");
+    ServeOptions so;
+    so.threads = 3;
+    so.queueCapacity = 256;
+    so.cacheBytes = int64_t{64} << 20;
+    SpmmService svc(so, &cm);
+    const MatrixHandle h = svc.attach(a);
+    std::vector<std::future<SubmitResult>> futs(
+        static_cast<size_t>(kClients * kPerClient));
+    std::vector<std::thread> clients;
+    std::atomic<int> rejected{0};
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                const int id = c * kPerClient + i;
+                try {
+                    futs[static_cast<size_t>(id)] = svc.submit(
+                        h,
+                        testing::makeDenseOperand(
+                            a.cols(), 8,
+                            static_cast<uint64_t>(100 + id)),
+                        Precision::Fp32);
+                } catch (const DtcError&) {
+                    rejected.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    EXPECT_EQ(rejected.load(), 0); // capacity 256 admits everything
+
+    for (size_t i = 0; i < futs.size(); ++i) {
+        const SubmitResult r = futs[i].get();
+        EXPECT_TRUE(r.c == want[i]) << "request " << i
+                                    << " differs from deterministic";
+    }
+    // Exactly one tune across the whole storm: every request after
+    // the first reused the prepared entry.
+    EXPECT_EQ(obs::metrics::counterValue("tuner.tunes"),
+              tunes_before + 1);
+}
+
+TEST_F(ServeTest, ShapeMismatchThrowsInvalidInput)
+{
+    const CsrMatrix a = genUniform(64, 4.0, rng);
+    SpmmService svc(inlineOptions(), &cm);
+    const MatrixHandle h = svc.attach(a);
+    DenseMatrix bad(a.cols() + 1, 4);
+    try {
+        svc.submit(h, std::move(bad), Precision::Fp32);
+        FAIL() << "shape mismatch should throw";
+    } catch (const DtcError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidInput);
+    }
+}
+
+} // namespace
+} // namespace dtc
